@@ -1,0 +1,121 @@
+//! Parameter sweeps for the design choices the surveyed techniques
+//! hinge on: the `k` of GRAIL/Ferrari/IP, the bit budget of BFL, the
+//! landmark counts of HL and the landmark LCR index, and the vertex
+//! order of TOL. Complements the Criterion ablation benches with a
+//! human-readable report.
+//!
+//! ```text
+//! cargo run --release -p reach-bench --bin sweep -- [--n 20000]
+//! ```
+
+use reach_bench::queries::query_mix;
+use reach_bench::report::{fmt_bytes, fmt_duration, timed, Table};
+use reach_bench::workloads::Shape;
+use reach_core::bfl::build_bfl;
+use reach_core::ferrari::build_ferrari;
+use reach_core::grail::build_grail;
+use reach_core::hl::Hl;
+use reach_core::ip::build_ip;
+use reach_core::tol::{OrderStrategy, Tol};
+use reach_core::ReachIndex;
+use reach_graph::Dag;
+use std::sync::Arc;
+
+fn sweep_index<I: ReachIndex>(
+    table: &mut Table,
+    label: String,
+    build: impl FnOnce() -> I,
+    mix: &reach_bench::queries::QueryMix,
+) {
+    let (idx, build_time) = timed(build);
+    let (hits, query_time) = timed(|| {
+        let mut hits = 0;
+        for &(s, t) in &mix.pairs {
+            if idx.query(s, t) {
+                hits += 1;
+            }
+        }
+        hits
+    });
+    assert_eq!(hits, mix.positives);
+    table.row([
+        label,
+        fmt_duration(build_time),
+        idx.size_entries().to_string(),
+        fmt_bytes(idx.size_bytes()),
+        fmt_duration(query_time / mix.pairs.len() as u32),
+    ]);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut n = 20_000usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--n" => {
+                i += 1;
+                n = args[i].parse().expect("--n takes a number");
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+
+    let graph = Shape::Sparse.generate(n, 31);
+    let dag = Dag::new(graph).expect("sparse shape is a DAG");
+    let shared = Arc::new(dag.graph().clone());
+    let mix = query_mix(&shared, 2_000, 0.3, 13);
+    println!(
+        "sweep workload: sparse-dag n={} m={} ({} queries, {} reachable)\n",
+        dag.num_vertices(),
+        dag.num_edges(),
+        mix.pairs.len(),
+        mix.positives
+    );
+
+    let mut table = Table::new(["configuration", "build", "entries", "bytes", "avg query"]);
+    for k in [1, 2, 4, 8] {
+        sweep_index(&mut table, format!("GRAIL k={k}"), || build_grail(&dag, k, 7), &mix);
+    }
+    for budget in [1, 2, 4, 8] {
+        sweep_index(
+            &mut table,
+            format!("Ferrari budget={budget}"),
+            || build_ferrari(&dag, budget),
+            &mix,
+        );
+    }
+    for k in [2, 8, 32] {
+        sweep_index(&mut table, format!("IP k={k}"), || build_ip(&dag, k, 7), &mix);
+    }
+    for bits in [64, 256, 1024] {
+        sweep_index(&mut table, format!("BFL bits={bits}"), || build_bfl(&dag, bits, 7), &mix);
+    }
+    for landmarks in [4, 16, 64] {
+        sweep_index(
+            &mut table,
+            format!("HL landmarks={landmarks}"),
+            || Hl::build(&dag, landmarks),
+            &mix,
+        );
+    }
+    for (name, strategy) in [
+        ("degree", OrderStrategy::DegreeDescending),
+        ("by-id", OrderStrategy::ById),
+    ] {
+        sweep_index(
+            &mut table,
+            format!("TOL order={name}"),
+            || Tol::build(dag.graph(), strategy),
+            &mix,
+        );
+    }
+    sweep_index(
+        &mut table,
+        "TFL (topological order)".to_string(),
+        || reach_core::tol::build_tfl(&dag),
+        &mix,
+    );
+    println!("{}", table.render());
+}

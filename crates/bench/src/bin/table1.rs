@@ -1,0 +1,127 @@
+//! Regenerates **Table 1** of the survey: the taxonomy of plain
+//! reachability indexes, plus (with `--empirical`) the measured
+//! consequences of each classification — build time, index size, and
+//! query time per technique and workload shape.
+//!
+//! ```text
+//! cargo run --release -p reach-bench --bin table1 -- [--empirical] [--n 5000]
+//! ```
+
+use reach_bench::queries::query_mix;
+use reach_bench::registry::{build_plain, plain_feasible, PLAIN_NAMES};
+use reach_bench::report::{fmt_bytes, fmt_duration, timed, Table};
+use reach_bench::workloads::Shape;
+use reach_core::{Completeness, Dynamism, Framework, InputClass};
+use std::sync::Arc;
+
+fn framework_name(f: Framework) -> &'static str {
+    match f {
+        Framework::TransitiveClosure => "TC",
+        Framework::TreeCover => "Tree cover",
+        Framework::TwoHop => "2-Hop",
+        Framework::ApproximateTc => "Approximate TC",
+        Framework::Other => "-",
+    }
+}
+
+fn print_matrix() {
+    println!("Table 1: plain reachability indexes (implemented taxonomy)\n");
+    let mut table = Table::new(["Indexing Technique", "Framework", "Index Type", "Input", "Dynamic"]);
+    for name in PLAIN_NAMES {
+        if name.starts_with("online") {
+            continue;
+        }
+        let m = reach_bench::registry::plain_native_meta(name);
+        table.row([
+            format!("{} {}", m.name, m.citation),
+            framework_name(m.framework).to_string(),
+            match m.completeness {
+                Completeness::Complete => "Complete".to_string(),
+                Completeness::Partial => "Partial".to_string(),
+            },
+            match m.input {
+                InputClass::Dag => "DAG".to_string(),
+                InputClass::General => "General".to_string(),
+            },
+            match m.dynamism {
+                Dynamism::Static => "No".to_string(),
+                Dynamism::InsertOnly => "Insert".to_string(),
+                Dynamism::InsertDelete => "Yes".to_string(),
+            },
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Substitutions vs. the paper's Table 1 (see DESIGN.md §2):");
+    println!("  - Path-tree [24,27] and 3-Hop [26] are represented by Chain cover [20].");
+    println!("  - U2-hop [7] and Ralf et al. [39] (incremental 2-hop) are represented");
+    println!("    by TOL's insert/delete maintenance, which supersedes them [55].");
+    println!("  - Path-hop [8] (tree-intermediated 3-hop) is not separately implemented.");
+}
+
+fn empirical(n: usize) {
+    for shape in [Shape::Sparse, Shape::Dense, Shape::PowerLaw, Shape::Cyclic] {
+        let g = Arc::new(shape.generate(n, 42));
+        let mix = query_mix(&g, 2_000, 0.5, 7);
+        println!(
+            "\nworkload {} (n={}, m={}, {} queries, {} reachable)",
+            shape.name(),
+            g.num_vertices(),
+            g.num_edges(),
+            mix.pairs.len(),
+            mix.positives
+        );
+        let mut table =
+            Table::new(["Technique", "Build", "Entries", "Bytes", "Query(total)", "Query(avg)"]);
+        for name in PLAIN_NAMES {
+            if !plain_feasible(name, g.num_vertices(), g.num_edges()) {
+                table.row([name.to_string(), "(skipped: infeasible at this size)".into(),
+                    String::new(), String::new(), String::new(), String::new()]);
+                continue;
+            }
+            let (idx, build) = timed(|| build_plain(name, &g));
+            let (hits, q) = timed(|| {
+                let mut hits = 0usize;
+                for &(s, t) in &mix.pairs {
+                    if idx.query(s, t) {
+                        hits += 1;
+                    }
+                }
+                hits
+            });
+            assert_eq!(hits, mix.positives, "{name} answered a query wrongly");
+            table.row([
+                name.to_string(),
+                fmt_duration(build),
+                idx.size_entries().to_string(),
+                fmt_bytes(idx.size_bytes()),
+                fmt_duration(q),
+                fmt_duration(q / mix.pairs.len() as u32),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut run_empirical = false;
+    let mut n = 5_000usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--empirical" => run_empirical = true,
+            "--n" => {
+                i += 1;
+                n = args[i].parse().expect("--n takes a number");
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+    print_matrix();
+    if run_empirical {
+        empirical(n);
+    } else {
+        println!("\n(run with --empirical [--n N] for the measured comparison)");
+    }
+}

@@ -1,0 +1,243 @@
+//! Regenerates **Table 2** of the survey: the taxonomy of
+//! path-constrained reachability indexes, plus (with `--empirical`)
+//! measured build/size/query comparisons for the alternation (LCR)
+//! family and the concatenation (RLC) index.
+//!
+//! ```text
+//! cargo run --release -p reach-bench --bin table2 -- [--empirical] [--n 1000]
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use reach_bench::registry::{build_lcr, lcr_feasible, LCR_NAMES};
+use reach_bench::report::{fmt_bytes, fmt_duration, timed, Table};
+use reach_bench::workloads::Shape;
+use reach_core::index::{Completeness, Dynamism, InputClass};
+use reach_graph::{fixtures, Label, LabelSet, VertexId};
+use reach_labeled::online::{lcr_bfs, rlc_bfs};
+use reach_labeled::rlc::RlcIndex;
+use reach_labeled::{ConstraintClass, LcrFramework, RlcIndexApi};
+use std::sync::Arc;
+
+fn framework_name(f: LcrFramework) -> &'static str {
+    match f {
+        LcrFramework::TreeCover => "Tree cover",
+        LcrFramework::Gtc => "GTC",
+        LcrFramework::TwoHop => "2-Hop",
+    }
+}
+
+fn print_matrix() {
+    println!("Table 2: path-constrained reachability indexes (implemented taxonomy)\n");
+    let g = Arc::new(fixtures::figure1b());
+    let mut table = Table::new([
+        "Indexing Technique",
+        "Framework",
+        "Path Constraint",
+        "Index type",
+        "Input",
+        "Dynamic",
+    ]);
+    let mut metas: Vec<reach_labeled::LabeledIndexMeta> = LCR_NAMES
+        .iter()
+        .filter(|&&n| n != "GTC")
+        .map(|name| build_lcr(name, &g).meta())
+        .collect();
+    metas.push(RlcIndex::build(&g, 2).meta());
+    for m in metas {
+        table.row([
+            format!("{} {}", m.name, m.citation),
+            framework_name(m.framework).to_string(),
+            match m.constraint {
+                ConstraintClass::Alternation => "Alternation".to_string(),
+                ConstraintClass::Concatenation => "Concatenation".to_string(),
+            },
+            match m.completeness {
+                Completeness::Complete => "Complete".to_string(),
+                Completeness::Partial => "Partial".to_string(),
+            },
+            match m.input {
+                InputClass::Dag => "DAG".to_string(),
+                InputClass::General => "General".to_string(),
+            },
+            match m.dynamism {
+                Dynamism::Static => "No".to_string(),
+                Dynamism::InsertOnly => "Insert".to_string(),
+                Dynamism::InsertDelete => "Yes".to_string(),
+            },
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+/// LCR query workload: pairs plus random alternation constraints.
+fn lcr_queries(
+    g: &reach_graph::LabeledGraph,
+    count: usize,
+    seed: u64,
+) -> Vec<(VertexId, VertexId, LabelSet)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = g.num_vertices() as u32;
+    let k = g.num_labels();
+    (0..count)
+        .map(|_| {
+            let s = VertexId(rng.random_range(0..n));
+            let mut t = VertexId(rng.random_range(0..n - 1));
+            if t >= s {
+                t = VertexId(t.0 + 1);
+            }
+            // constraints with 1..k labels, biased toward small sets
+            let size = 1 + rng.random_range(0..k);
+            let mut set = LabelSet::EMPTY;
+            for _ in 0..size {
+                set = set.insert(Label(rng.random_range(0..k as u8)));
+            }
+            (s, t, set)
+        })
+        .collect()
+}
+
+fn empirical(n: usize) {
+    for shape in [Shape::Sparse, Shape::PowerLaw, Shape::Cyclic] {
+        let g = Arc::new(shape.generate_labeled(n, 8, 42));
+        let queries = lcr_queries(&g, 1_000, 9);
+        let expected: Vec<bool> = queries
+            .iter()
+            .map(|&(s, t, allowed)| lcr_bfs(&g, s, t, allowed))
+            .collect();
+        let positives = expected.iter().filter(|&&b| b).count();
+        println!(
+            "\nworkload {} (n={}, m={}, |L|=8, {} LCR queries, {} satisfiable)",
+            shape.name(),
+            g.num_vertices(),
+            g.num_edges(),
+            queries.len(),
+            positives
+        );
+        let mut table =
+            Table::new(["Technique", "Build", "Entries", "Bytes", "Query(total)", "Query(avg)"]);
+        // the online baseline first
+        let (_, online_total) = timed(|| {
+            for &(s, t, allowed) in &queries {
+                std::hint::black_box(lcr_bfs(&g, s, t, allowed));
+            }
+        });
+        table.row([
+            "online label-BFS".to_string(),
+            "-".to_string(),
+            "0".to_string(),
+            "0B".to_string(),
+            fmt_duration(online_total),
+            fmt_duration(online_total / queries.len() as u32),
+        ]);
+        for name in LCR_NAMES {
+            if !lcr_feasible(name, n) {
+                table.row([name.to_string(), "(skipped: infeasible at this size)".into(),
+                    String::new(), String::new(), String::new(), String::new()]);
+                continue;
+            }
+            let (idx, build) = timed(|| build_lcr(name, &g));
+            let (answers, q) = timed(|| {
+                queries
+                    .iter()
+                    .map(|&(s, t, allowed)| idx.query(s, t, allowed))
+                    .collect::<Vec<bool>>()
+            });
+            assert_eq!(answers, expected, "{name} answered a query wrongly");
+            table.row([
+                name.to_string(),
+                fmt_duration(build),
+                idx.size_entries().to_string(),
+                fmt_bytes(idx.size_bytes()),
+                fmt_duration(q),
+                fmt_duration(q / queries.len() as u32),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+
+    // RLC: the concatenation-based index vs the online product BFS
+    let n_rlc = n.min(300);
+    let g = Arc::new(Shape::Sparse.generate_labeled(n_rlc, 4, 43));
+    let mut rng = SmallRng::seed_from_u64(17);
+    let units: Vec<Vec<Label>> = (0..200)
+        .map(|_| {
+            let len = 1 + rng.random_range(0..2);
+            (0..len).map(|_| Label(rng.random_range(0..4u8))).collect()
+        })
+        .collect();
+    let pairs: Vec<(VertexId, VertexId)> = (0..units.len())
+        .map(|_| {
+            let s = VertexId(rng.random_range(0..n_rlc as u32));
+            let mut t = VertexId(rng.random_range(0..n_rlc as u32 - 1));
+            if t >= s {
+                t = VertexId(t.0 + 1);
+            }
+            (s, t)
+        })
+        .collect();
+    println!(
+        "\nRLC workload sparse-dag (n={}, |L|=4, {} concatenation queries, kmax=2)",
+        n_rlc,
+        units.len()
+    );
+    let (idx, build) = timed(|| RlcIndex::build(&g, 2));
+    let (answers, q) = timed(|| {
+        pairs
+            .iter()
+            .zip(&units)
+            .map(|(&(s, t), u)| idx.try_query(s, t, u).unwrap())
+            .collect::<Vec<bool>>()
+    });
+    let (expected, online_total) = timed(|| {
+        pairs
+            .iter()
+            .zip(&units)
+            .map(|(&(s, t), u)| rlc_bfs(&g, s, t, u))
+            .collect::<Vec<bool>>()
+    });
+    assert_eq!(answers, expected, "RLC index answered a query wrongly");
+    let mut table =
+        Table::new(["Technique", "Build", "Entries", "Bytes", "Query(total)", "Query(avg)"]);
+    table.row([
+        "online product-BFS".into(),
+        "-".to_string(),
+        "0".into(),
+        "0B".into(),
+        fmt_duration(online_total),
+        fmt_duration(online_total / pairs.len() as u32),
+    ]);
+    table.row([
+        "RLC index".to_string(),
+        fmt_duration(build),
+        idx.size_entries().to_string(),
+        fmt_bytes(idx.size_bytes()),
+        fmt_duration(q),
+        fmt_duration(q / pairs.len() as u32),
+    ]);
+    println!("{}", table.render());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut run_empirical = false;
+    let mut n = 1_000usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--empirical" => run_empirical = true,
+            "--n" => {
+                i += 1;
+                n = args[i].parse().expect("--n takes a number");
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+    print_matrix();
+    if run_empirical {
+        empirical(n);
+    } else {
+        println!("(run with --empirical [--n N] for the measured comparison)");
+    }
+}

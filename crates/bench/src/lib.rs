@@ -1,0 +1,18 @@
+//! # reach-bench
+//!
+//! The experiment harness: everything needed to regenerate the
+//! survey's Table 1, Table 2, Figure 1 worked examples, and the §5
+//! qualitative claims, over synthetic workloads (see DESIGN.md §4 for
+//! the experiment-by-experiment index).
+//!
+//! * [`registry`] — uniform construction of every plain and every
+//!   path-constrained index behind trait objects;
+//! * [`workloads`] — the named graph shapes the comparisons run on;
+//! * [`queries`] — query mixes with a controlled reachable share
+//!   (§5's argument revolves around unreachable-heavy mixes);
+//! * [`report`] — fixed-width table printing and wall-clock helpers.
+
+pub mod queries;
+pub mod registry;
+pub mod report;
+pub mod workloads;

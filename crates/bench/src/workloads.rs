@@ -1,0 +1,125 @@
+//! Named graph workloads for the table and claim harnesses.
+//!
+//! Each shape isolates one regime the survey's comparisons depend on
+//! (DESIGN.md §2 documents why these substitute for the cited papers'
+//! datasets).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use reach_graph::generators::{
+    label_edges, layered_dag, power_law_dag, random_dag, random_digraph,
+    random_tree_plus_edges, LabelDistribution,
+};
+use reach_graph::{DiGraph, LabeledGraph};
+
+/// The graph shapes used across the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// Uniform random DAG, average degree ~3.
+    Sparse,
+    /// Uniform random DAG, average degree ~8.
+    Dense,
+    /// Deep layered DAG (depth ≫ width).
+    Deep,
+    /// Preferential-attachment DAG (hub-dominated).
+    PowerLaw,
+    /// Random tree plus 2% extra forward edges (almost-tree).
+    TreeLike,
+    /// Cyclic Erdős–Rényi digraph, average degree ~4.
+    Cyclic,
+}
+
+/// All shapes, for sweep loops.
+pub const ALL_SHAPES: [Shape; 6] = [
+    Shape::Sparse,
+    Shape::Dense,
+    Shape::Deep,
+    Shape::PowerLaw,
+    Shape::TreeLike,
+    Shape::Cyclic,
+];
+
+impl Shape {
+    /// Short identifier for table rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            Shape::Sparse => "sparse-dag",
+            Shape::Dense => "dense-dag",
+            Shape::Deep => "deep-dag",
+            Shape::PowerLaw => "power-law",
+            Shape::TreeLike => "tree-like",
+            Shape::Cyclic => "cyclic",
+        }
+    }
+
+    /// Generates an `n`-vertex instance of this shape.
+    pub fn generate(self, n: usize, seed: u64) -> DiGraph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match self {
+            Shape::Sparse => random_dag(n, 3 * n, &mut rng).into_graph(),
+            Shape::Dense => random_dag(n, 8 * n, &mut rng).into_graph(),
+            Shape::Deep => {
+                let width = (n / 50).max(2);
+                let layers = (n / width).max(2);
+                layered_dag(layers, width, 3, &mut rng).into_graph()
+            }
+            Shape::PowerLaw => power_law_dag(n, 3, &mut rng).into_graph(),
+            Shape::TreeLike => {
+                random_tree_plus_edges(n, n / 50, &mut rng).into_graph()
+            }
+            Shape::Cyclic => random_digraph(n, 4 * n, &mut rng),
+        }
+    }
+
+    /// Generates a labeled instance with `k` labels, Zipf-skewed.
+    pub fn generate_labeled(self, n: usize, k: usize, seed: u64) -> LabeledGraph {
+        let g = self.generate(n, seed);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x1abe1);
+        label_edges(&g, k, LabelDistribution::Zipf, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_shape_generates_the_requested_size() {
+        for shape in ALL_SHAPES {
+            let g = shape.generate(500, 1);
+            assert!(
+                g.num_vertices() >= 450 && g.num_vertices() <= 550,
+                "{}: n = {}",
+                shape.name(),
+                g.num_vertices()
+            );
+            assert!(g.num_edges() > 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for shape in ALL_SHAPES {
+            assert_eq!(shape.generate(200, 7), shape.generate(200, 7));
+        }
+    }
+
+    #[test]
+    fn labeled_workloads_respect_alphabet() {
+        for shape in ALL_SHAPES {
+            let g = shape.generate_labeled(200, 4, 3);
+            assert_eq!(g.num_labels(), 4);
+            for (_, l, _) in g.edges() {
+                assert!(l.index() < 4);
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = ALL_SHAPES.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL_SHAPES.len());
+    }
+}

@@ -1,0 +1,650 @@
+//! # reach-cli
+//!
+//! The `reach` command-line tool: generate workloads, inspect graphs,
+//! build any index from the survey's Tables 1 and 2, and answer plain
+//! or path-constrained reachability queries from the shell.
+//!
+//! ```text
+//! reach gen sparse-dag 1000 --out g.el            # generate a workload
+//! reach gen cyclic 500 --labels 4 --out lg.el     # labeled variant
+//! reach stats g.el                                # structural summary
+//! reach indexes                                   # list techniques
+//! reach query g.el --index BFL 0 999 5 7          # plain queries
+//! reach lcr lg.el --index P2H+ --constraint "(0|2)*" 3 77
+//! reach bench g.el --index GRAIL --index PLL --queries 2000
+//! ```
+//!
+//! The library surface exists so tests can drive every command
+//! in-process; `main.rs` is a thin wrapper.
+
+use reach_bench::queries::query_mix;
+use reach_bench::registry::{
+    build_lcr, build_plain, plain_feasible, plain_native_meta, LCR_NAMES, PLAIN_NAMES,
+};
+use reach_bench::report::{fmt_bytes, fmt_duration, timed, Table};
+use reach_bench::workloads::{Shape, ALL_SHAPES};
+use reach_graph::stats::graph_stats;
+use reach_graph::{io, DiGraph, LabeledGraph, VertexId};
+use reach_labeled::rlc::RlcIndex;
+use reach_labeled::{ConstraintKind, RlcIndexApi};
+use std::fmt;
+use std::io::Write;
+use std::sync::Arc;
+
+/// A CLI-level error with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        err(e.to_string())
+    }
+}
+
+/// A loaded graph file: plain or labeled, detected from the header.
+pub enum LoadedGraph {
+    /// A plain digraph (header: `<n>`).
+    Plain(Arc<DiGraph>),
+    /// An edge-labeled digraph (header: `<n> <k>`).
+    Labeled(Arc<LabeledGraph>),
+}
+
+/// Loads an edge-list file, detecting the labeled variant from the
+/// two-token header.
+pub fn load_graph(path: &str) -> Result<LoadedGraph, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let header = text
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .ok_or_else(|| err(format!("{path}: empty edge-list file")))?;
+    let labeled = header.split_whitespace().count() == 2;
+    if labeled {
+        Ok(LoadedGraph::Labeled(Arc::new(
+            io::read_labeled(&text).map_err(|e| err(format!("{path}: {e}")))?,
+        )))
+    } else {
+        Ok(LoadedGraph::Plain(Arc::new(
+            io::read_digraph(&text).map_err(|e| err(format!("{path}: {e}")))?,
+        )))
+    }
+}
+
+/// Entry point shared by the binary and the tests.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        None | Some("help") | Some("--help") | Some("-h") => cmd_help(out),
+        Some("gen") => cmd_gen(&args[1..], out),
+        Some("stats") => cmd_stats(&args[1..], out),
+        Some("indexes") => cmd_indexes(out),
+        Some("query") => cmd_query(&args[1..], out),
+        Some("lcr") => cmd_lcr(&args[1..], out),
+        Some("witness") => cmd_witness(&args[1..], out),
+        Some("bench") => cmd_bench(&args[1..], out),
+        Some(other) => Err(err(format!("unknown command {other:?}"))),
+    }
+}
+
+/// Renders a witness path as `v -label-> v -label-> v`.
+fn render_witness(w: &reach_labeled::Witness) -> String {
+    if w.is_empty() {
+        return format!("{} (empty path)", w.vertices[0]);
+    }
+    let mut s = w.vertices[0].to_string();
+    for (i, l) in w.labels.iter().enumerate() {
+        s.push_str(&format!(" -{}-> {}", l, w.vertices[i + 1]));
+    }
+    s
+}
+
+fn cmd_witness(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    use reach_labeled::witness::{lcr_witness, rlc_witness, rpq_witness};
+    let flags = parse_flags(args)?;
+    let (path, pairs_tokens) = flags.rest.split_first().ok_or_else(|| {
+        err("usage: witness <labeled-graph> --constraint EXPR <s> <t> [...]")
+    })?;
+    let LoadedGraph::Labeled(g) = load_graph(path)? else {
+        return Err(err(format!("{path} is a plain graph; witness needs a labeled one")));
+    };
+    let expr = flags.constraint.as_deref().unwrap_or("");
+    let alphabet: Vec<&str> = flags.alphabet.iter().map(String::as_str).collect();
+    let pairs = parse_pairs(pairs_tokens, g.num_vertices())?;
+    for (s, t) in pairs {
+        let witness = if expr.is_empty() {
+            reach_labeled::witness::plain_witness(&g, s, t)
+        } else {
+            let ast = reach_labeled::parse(expr, &alphabet).map_err(|e| err(e.to_string()))?;
+            match ast.classify() {
+                ConstraintKind::Alternation(allowed) => lcr_witness(&g, s, t, allowed),
+                ConstraintKind::Concatenation(unit) => rlc_witness(&g, s, t, &unit),
+                ConstraintKind::General => {
+                    rpq_witness(&g, s, t, &reach_labeled::Nfa::compile(&ast))
+                }
+            }
+        };
+        match witness {
+            Some(w) => writeln!(out, "{s} ⇝ {t}: {}", render_witness(&w))?,
+            None => writeln!(out, "{s} ⇝ {t}: unreachable")?,
+        }
+    }
+    Ok(())
+}
+
+fn cmd_help(out: &mut dyn Write) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "reach — reachability indexes on graphs (SIGMOD'23 survey implementation)\n\
+         \n\
+         commands:\n\
+         \x20 gen <shape> <n> [--seed S] [--labels K] [--out FILE]   generate a workload\n\
+         \x20 stats <graph>                                          structural summary\n\
+         \x20 indexes                                                list techniques (Table 1 & 2)\n\
+         \x20 query <graph> --index NAME <s> <t> [<s> <t> ...]       plain reachability\n\
+         \x20 lcr <graph> --index NAME --constraint EXPR <s> <t>     path-constrained reachability\n\
+         \x20 witness <graph> [--constraint EXPR] <s> <t>            show an explaining path\n\
+         \x20 bench <graph> [--index NAME ...] [--queries N] [--positive P]\n\
+         \n\
+         shapes: {}\n\
+         constraint syntax: l | a·b (or a.b) | a∪b (or a|b) | a* | a+ | (...)\n\
+         labels in constraints: numeric (0,1,2,…) or --alphabet name,name,…",
+        ALL_SHAPES.map(|s| s.name()).join(", ")
+    )?;
+    Ok(())
+}
+
+fn parse_shape(name: &str) -> Result<Shape, CliError> {
+    ALL_SHAPES
+        .into_iter()
+        .find(|s| s.name() == name)
+        .ok_or_else(|| {
+            err(format!(
+                "unknown shape {name:?} (expected one of: {})",
+                ALL_SHAPES.map(|s| s.name()).join(", ")
+            ))
+        })
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, CliError> {
+    s.parse().map_err(|_| err(format!("invalid {what}: {s:?}")))
+}
+
+fn cmd_gen(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut pos = Vec::new();
+    let mut seed = 42u64;
+    let mut labels: Option<usize> = None;
+    let mut path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = parse_num(args.get(i).ok_or_else(|| err("--seed needs a value"))?, "seed")?;
+            }
+            "--labels" => {
+                i += 1;
+                labels = Some(parse_num(
+                    args.get(i).ok_or_else(|| err("--labels needs a value"))?,
+                    "label count",
+                )?);
+            }
+            "--out" => {
+                i += 1;
+                path = Some(args.get(i).ok_or_else(|| err("--out needs a value"))?.clone());
+            }
+            other => pos.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let [shape, n] = pos.as_slice() else {
+        return Err(err("usage: gen <shape> <n> [--seed S] [--labels K] [--out FILE]"));
+    };
+    let shape = parse_shape(shape)?;
+    let n: usize = parse_num(n, "vertex count")?;
+    if n < 2 {
+        return Err(err("vertex count must be at least 2"));
+    }
+    if labels == Some(0) || labels.is_some_and(|k| k > 64) {
+        return Err(err("label count must be between 1 and 64"));
+    }
+    let text = match labels {
+        Some(k) => io::write_labeled(&shape.generate_labeled(n, k, seed)),
+        None => io::write_digraph(&shape.generate(n, seed)),
+    };
+    match path {
+        Some(p) => {
+            std::fs::write(&p, &text)?;
+            writeln!(out, "wrote {} ({} lines)", p, text.lines().count())?;
+        }
+        None => out.write_all(text.as_bytes())?,
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let [path] = args else {
+        return Err(err("usage: stats <graph-file>"));
+    };
+    let (g, labels) = match load_graph(path)? {
+        LoadedGraph::Plain(g) => (g, None),
+        LoadedGraph::Labeled(lg) => {
+            (Arc::new(lg.to_digraph()), Some(lg.num_labels()))
+        }
+    };
+    let s = graph_stats(&g);
+    writeln!(out, "{path}:")?;
+    writeln!(out, "  vertices        {}", s.num_vertices)?;
+    writeln!(out, "  edges           {}", s.num_edges)?;
+    if let Some(k) = labels {
+        writeln!(out, "  label alphabet  {k}")?;
+    }
+    writeln!(out, "  avg degree      {:.2}", s.avg_degree)?;
+    writeln!(out, "  max degree      {}", s.max_degree)?;
+    writeln!(out, "  SCCs            {} (largest {})", s.num_sccs, s.largest_scc)?;
+    match s.depth {
+        Some(d) => writeln!(out, "  depth (DAG)     {d}")?,
+        None => writeln!(out, "  depth           cyclic (condense first for DAG indexes)")?,
+    }
+    writeln!(out, "  sources/sinks   {}/{}", s.num_sources, s.num_sinks)?;
+    Ok(())
+}
+
+fn cmd_indexes(out: &mut dyn Write) -> Result<(), CliError> {
+    writeln!(out, "plain reachability indexes (Table 1):")?;
+    for name in PLAIN_NAMES {
+        if name.starts_with("online") {
+            continue;
+        }
+        let m = plain_native_meta(name);
+        writeln!(
+            out,
+            "  {:<14} {:?} / {:?} / {:?} input / {:?}",
+            m.name, m.framework, m.completeness, m.input, m.dynamism
+        )?;
+    }
+    writeln!(out, "\npath-constrained indexes (Table 2): {}", LCR_NAMES.join(", "))?;
+    writeln!(out, "  plus: RLC index (concatenation constraints)")?;
+    writeln!(out, "\nonline baselines: online-BFS, online-DFS, online-BiBFS")?;
+    Ok(())
+}
+
+struct Flags {
+    indexes: Vec<String>,
+    constraint: Option<String>,
+    alphabet: Vec<String>,
+    queries: usize,
+    positive: f64,
+    rest: Vec<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
+    let mut f = Flags {
+        indexes: Vec::new(),
+        constraint: None,
+        alphabet: Vec::new(),
+        queries: 1000,
+        positive: 0.5,
+        rest: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--index" => {
+                i += 1;
+                f.indexes
+                    .push(args.get(i).ok_or_else(|| err("--index needs a value"))?.clone());
+            }
+            "--constraint" => {
+                i += 1;
+                f.constraint =
+                    Some(args.get(i).ok_or_else(|| err("--constraint needs a value"))?.clone());
+            }
+            "--alphabet" => {
+                i += 1;
+                f.alphabet = args
+                    .get(i)
+                    .ok_or_else(|| err("--alphabet needs a value"))?
+                    .split(',')
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--queries" => {
+                i += 1;
+                f.queries = parse_num(
+                    args.get(i).ok_or_else(|| err("--queries needs a value"))?,
+                    "query count",
+                )?;
+            }
+            "--positive" => {
+                i += 1;
+                f.positive = parse_num(
+                    args.get(i).ok_or_else(|| err("--positive needs a value"))?,
+                    "positive share",
+                )?;
+            }
+            other => f.rest.push(other.to_string()),
+        }
+        i += 1;
+    }
+    Ok(f)
+}
+
+fn parse_pairs(tokens: &[String], n: usize) -> Result<Vec<(VertexId, VertexId)>, CliError> {
+    if tokens.is_empty() || !tokens.len().is_multiple_of(2) {
+        return Err(err("queries come as <s> <t> pairs"));
+    }
+    tokens
+        .chunks(2)
+        .map(|pair| {
+            let s: u32 = parse_num(&pair[0], "vertex id")?;
+            let t: u32 = parse_num(&pair[1], "vertex id")?;
+            if s as usize >= n || t as usize >= n {
+                return Err(err(format!("vertex id out of range (n = {n})")));
+            }
+            Ok((VertexId(s), VertexId(t)))
+        })
+        .collect()
+}
+
+fn cmd_query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = parse_flags(args)?;
+    let (path, pairs_tokens) = flags
+        .rest
+        .split_first()
+        .ok_or_else(|| err("usage: query <graph> --index NAME <s> <t> [...]"))?;
+    let g = match load_graph(path)? {
+        LoadedGraph::Plain(g) => g,
+        LoadedGraph::Labeled(lg) => Arc::new(lg.to_digraph()),
+    };
+    let name = flags
+        .indexes
+        .first()
+        .map(String::as_str)
+        .unwrap_or("BFL");
+    if !PLAIN_NAMES.contains(&name) {
+        return Err(err(format!("unknown plain index {name:?} (see `reach indexes`)")));
+    }
+    let pairs = parse_pairs(pairs_tokens, g.num_vertices())?;
+    let (idx, build) = timed(|| build_plain(name, &g));
+    writeln!(out, "built {} in {}", name, fmt_duration(build))?;
+    for (s, t) in pairs {
+        let (answer, t_q) = timed(|| idx.query(s, t));
+        writeln!(out, "Qr({s}, {t}) = {answer}   [{}]", fmt_duration(t_q))?;
+    }
+    Ok(())
+}
+
+fn cmd_lcr(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = parse_flags(args)?;
+    let (path, pairs_tokens) = flags.rest.split_first().ok_or_else(|| {
+        err("usage: lcr <graph> --index NAME --constraint EXPR <s> <t> [...]")
+    })?;
+    let LoadedGraph::Labeled(g) = load_graph(path)? else {
+        return Err(err(format!("{path} is a plain graph; lcr needs a labeled one")));
+    };
+    let expr = flags
+        .constraint
+        .as_deref()
+        .ok_or_else(|| err("lcr requires --constraint"))?;
+    let alphabet: Vec<&str> = flags.alphabet.iter().map(String::as_str).collect();
+    let ast = reach_labeled::parse(expr, &alphabet).map_err(|e| err(e.to_string()))?;
+    let pairs = parse_pairs(pairs_tokens, g.num_vertices())?;
+
+    match ast.classify() {
+        ConstraintKind::Alternation(allowed) => {
+            let name = flags.indexes.first().map(String::as_str).unwrap_or("P2H+");
+            if !LCR_NAMES.contains(&name) {
+                return Err(err(format!("unknown LCR index {name:?}")));
+            }
+            let (idx, build) = timed(|| build_lcr(name, &g));
+            writeln!(out, "constraint is an alternation {allowed:?}; built {name} in {}", fmt_duration(build))?;
+            for (s, t) in pairs {
+                writeln!(out, "Qr({s}, {t}, {expr}) = {}", idx.query(s, t, allowed))?;
+            }
+        }
+        ConstraintKind::Concatenation(unit) => {
+            let (idx, build) = timed(|| RlcIndex::build(&g, unit.len()));
+            writeln!(
+                out,
+                "constraint is a concatenation of length {}; built RLC index in {}",
+                unit.len(),
+                fmt_duration(build)
+            )?;
+            for (s, t) in pairs {
+                let answer = idx
+                    .try_query(s, t, &unit)
+                    .expect("index built for this unit length");
+                writeln!(out, "Qr({s}, {t}, {expr}) = {answer}")?;
+            }
+        }
+        ConstraintKind::General => {
+            let nfa = reach_labeled::Nfa::compile(&ast);
+            writeln!(
+                out,
+                "constraint is outside the indexable fragments (§5 open challenge); \
+                 using automaton-guided traversal ({} NFA states)",
+                nfa.num_states()
+            )?;
+            for (s, t) in pairs {
+                let answer = reach_labeled::online::rpq_bfs(&g, s, t, &nfa);
+                writeln!(out, "Qr({s}, {t}, {expr}) = {answer}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let flags = parse_flags(args)?;
+    let [path] = flags.rest.as_slice() else {
+        return Err(err("usage: bench <graph> [--index NAME ...] [--queries N] [--positive P]"));
+    };
+    let g = match load_graph(path)? {
+        LoadedGraph::Plain(g) => g,
+        LoadedGraph::Labeled(lg) => Arc::new(lg.to_digraph()),
+    };
+    let names: Vec<&str> = if flags.indexes.is_empty() {
+        vec!["GRAIL", "BFL", "PLL", "online-BFS"]
+    } else {
+        flags.indexes.iter().map(String::as_str).collect()
+    };
+    for name in &names {
+        if !PLAIN_NAMES.contains(name) {
+            return Err(err(format!("unknown plain index {name:?}")));
+        }
+    }
+    let mix = query_mix(&g, flags.queries, flags.positive, 7);
+    writeln!(
+        out,
+        "{}: n={} m={} | {} queries, {} reachable",
+        path,
+        g.num_vertices(),
+        g.num_edges(),
+        mix.pairs.len(),
+        mix.positives
+    )?;
+    let mut table = Table::new(["index", "build", "entries", "bytes", "query total", "query avg"]);
+    for name in names {
+        if !plain_feasible(name, g.num_vertices(), g.num_edges()) {
+            table.row([name.to_string(), "(infeasible at this size)".into(),
+                String::new(), String::new(), String::new(), String::new()]);
+            continue;
+        }
+        let (idx, build) = timed(|| build_plain(name, &g));
+        let (hits, q) = timed(|| {
+            mix.pairs.iter().filter(|&&(s, t)| idx.query(s, t)).count()
+        });
+        assert_eq!(hits, mix.positives, "{name} answered a query wrongly");
+        table.row([
+            name.to_string(),
+            fmt_duration(build),
+            idx.size_entries().to_string(),
+            fmt_bytes(idx.size_bytes()),
+            fmt_duration(q),
+            fmt_duration(q / mix.pairs.len().max(1) as u32),
+        ]);
+    }
+    write!(out, "{}", table.render())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        run(&args, &mut buf)?;
+        Ok(String::from_utf8(buf).unwrap())
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("reach-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let s = run_to_string(&["help"]).unwrap();
+        assert!(s.contains("gen") && s.contains("query") && s.contains("lcr"));
+        assert!(run_to_string(&[]).unwrap().contains("commands"));
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        assert!(run_to_string(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn gen_stats_query_round_trip() {
+        let path = tmp("g1.el");
+        let s = run_to_string(&["gen", "sparse-dag", "200", "--seed", "3", "--out", &path])
+            .unwrap();
+        assert!(s.contains("wrote"));
+        let s = run_to_string(&["stats", &path]).unwrap();
+        assert!(s.contains("vertices        200"), "{s}");
+        let s = run_to_string(&["query", &path, "--index", "BFL", "0", "199", "5", "5"])
+            .unwrap();
+        assert!(s.contains("Qr(5, 5) = true"), "{s}");
+        assert!(s.contains("built BFL"));
+    }
+
+    #[test]
+    fn gen_writes_labeled_graphs() {
+        let path = tmp("g2.el");
+        run_to_string(&["gen", "cyclic", "100", "--labels", "3", "--out", &path]).unwrap();
+        let s = run_to_string(&["stats", &path]).unwrap();
+        assert!(s.contains("label alphabet  3"), "{s}");
+    }
+
+    #[test]
+    fn lcr_dispatches_on_constraint_class() {
+        let path = tmp("g3.el");
+        run_to_string(&[
+            "gen", "sparse-dag", "80", "--labels", "3", "--seed", "9", "--out", &path,
+        ])
+        .unwrap();
+        // alternation → LCR index
+        let s = run_to_string(&[
+            "lcr", &path, "--index", "P2H+", "--constraint", "(0|1)*", "0", "79",
+        ])
+        .unwrap();
+        assert!(s.contains("alternation"), "{s}");
+        // concatenation → RLC index
+        let s = run_to_string(&[
+            "lcr", &path, "--constraint", "(0.1)*", "0", "79",
+        ])
+        .unwrap();
+        assert!(s.contains("concatenation"), "{s}");
+        // general → automaton
+        let s = run_to_string(&[
+            "lcr", &path, "--constraint", "0*.1", "0", "79",
+        ])
+        .unwrap();
+        assert!(s.contains("automaton-guided"), "{s}");
+    }
+
+    #[test]
+    fn lcr_with_named_alphabet() {
+        let path = tmp("g4.el");
+        run_to_string(&[
+            "gen", "cyclic", "60", "--labels", "3", "--seed", "4", "--out", &path,
+        ])
+        .unwrap();
+        let s = run_to_string(&[
+            "lcr", &path, "--alphabet", "friendOf,follows,worksFor",
+            "--constraint", "(friendOf ∪ follows)*", "0", "59",
+        ])
+        .unwrap();
+        assert!(s.contains("Qr(0, 59"), "{s}");
+    }
+
+    #[test]
+    fn bench_reports_a_table() {
+        let path = tmp("g5.el");
+        run_to_string(&["gen", "power-law", "300", "--out", &path]).unwrap();
+        let s = run_to_string(&[
+            "bench", &path, "--index", "GRAIL", "--index", "online-BFS", "--queries", "100",
+        ])
+        .unwrap();
+        assert!(s.contains("GRAIL") && s.contains("online-BFS"), "{s}");
+        assert!(s.contains("query avg"));
+    }
+
+    #[test]
+    fn errors_are_user_facing() {
+        assert!(run_to_string(&["stats", "/nonexistent/file"]).is_err());
+        assert!(run_to_string(&["gen", "bogus-shape", "10"]).is_err());
+        assert!(run_to_string(&["query", "/nonexistent", "--index", "BFL", "0", "1"]).is_err());
+        let path = tmp("g6.el");
+        run_to_string(&["gen", "sparse-dag", "50", "--out", &path]).unwrap();
+        assert!(run_to_string(&["query", &path, "--index", "NotAnIndex", "0", "1"]).is_err());
+        assert!(run_to_string(&["query", &path, "--index", "BFL", "0"]).is_err(), "odd pair");
+        assert!(run_to_string(&["query", &path, "--index", "BFL", "0", "999"]).is_err(), "oob");
+        assert!(run_to_string(&["lcr", &path, "--constraint", "(0)*", "0", "1"]).is_err(),
+            "plain graph rejected for lcr");
+    }
+
+    #[test]
+    fn witness_prints_paths() {
+        let path = tmp("g7.el");
+        run_to_string(&[
+            "gen", "sparse-dag", "60", "--labels", "2", "--seed", "5", "--out", &path,
+        ])
+        .unwrap();
+        // unconstrained witness: some pair must be reachable
+        let s = run_to_string(&["witness", &path, "0", "59", "0", "0"]).unwrap();
+        assert!(s.contains("0 ⇝ 0: 0 (empty path)"), "{s}");
+        // constrained witness goes through the classifier
+        let s = run_to_string(&[
+            "witness", &path, "--constraint", "(0|1)*", "0", "59",
+        ])
+        .unwrap();
+        assert!(s.contains("⇝ 59"), "{s}");
+        // plain graphs are rejected
+        let plain = tmp("g8.el");
+        run_to_string(&["gen", "sparse-dag", "20", "--out", &plain]).unwrap();
+        assert!(run_to_string(&["witness", &plain, "0", "1"]).is_err());
+    }
+
+    #[test]
+    fn indexes_lists_the_taxonomy() {
+        let s = run_to_string(&["indexes"]).unwrap();
+        assert!(s.contains("GRAIL") && s.contains("P2H+") && s.contains("RLC index"));
+    }
+}

@@ -1,0 +1,16 @@
+//! `reach` — the command-line front end of the reachability workspace.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    match reach_cli::run(&args, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `reach help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

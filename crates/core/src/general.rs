@@ -1,0 +1,113 @@
+//! The DAG-only → general-graph adapter of §3.1.
+//!
+//! *"General graphs with directed cycles can be transformed to a DAG
+//! … all the strongly connected components are identified, and each
+//! SCC is coarsened into a representative vertex. … `Qr(s,t)` can be
+//! processed by first checking whether s and t belong to the same SCC,
+//! followed by checking the reachability in the DAG."*
+
+use crate::index::{IndexMeta, InputClass, ReachIndex};
+use reach_graph::{Condensation, Dag, DiGraph, VertexId};
+
+/// Lifts a DAG-only index to general graphs via Tarjan condensation.
+///
+/// Queries on original vertices are answered as
+/// `same_scc(s, t) || inner.query(comp(s), comp(t))`.
+pub struct Condensed<I> {
+    cond: Condensation,
+    inner: I,
+}
+
+impl<I: ReachIndex> Condensed<I> {
+    /// Condenses `g` and builds the inner index on the SCC DAG via
+    /// `build` (which receives the condensation DAG).
+    pub fn build(g: &DiGraph, build: impl FnOnce(&Dag) -> I) -> Self {
+        let cond = Condensation::new(g);
+        let inner = build(cond.dag());
+        Condensed { cond, inner }
+    }
+
+    /// The inner DAG index.
+    pub fn inner(&self) -> &I {
+        &self.inner
+    }
+
+    /// The condensation this adapter queries through.
+    pub fn condensation(&self) -> &Condensation {
+        &self.cond
+    }
+}
+
+impl<I: ReachIndex> ReachIndex for Condensed<I> {
+    fn query(&self, s: VertexId, t: VertexId) -> bool {
+        self.cond.same_component(s, t)
+            || self.inner.query(self.cond.component_of(s), self.cond.component_of(t))
+    }
+
+    fn meta(&self) -> IndexMeta {
+        // the composition handles general input; everything else is inherited
+        IndexMeta { input: InputClass::General, ..self.inner.meta() }
+    }
+
+    fn size_bytes(&self) -> usize {
+        // component map + inner index
+        4 * self.cond.scc().components().len() + self.inner.size_bytes()
+    }
+
+    fn size_entries(&self) -> usize {
+        self.inner.size_entries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tc::TransitiveClosure;
+
+    #[test]
+    fn condensed_tc_handles_cycles() {
+        // {0,1,2} cycle -> 3 -> {4,5} cycle, 6 isolated
+        let g = DiGraph::from_edges(
+            7,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 4)],
+        );
+        let idx = Condensed::build(&g, TransitiveClosure::build_dag);
+        assert!(idx.query(VertexId(0), VertexId(5)));
+        assert!(idx.query(VertexId(1), VertexId(0)), "same SCC");
+        assert!(idx.query(VertexId(4), VertexId(5)));
+        assert!(!idx.query(VertexId(3), VertexId(0)));
+        assert!(!idx.query(VertexId(6), VertexId(0)));
+        assert!(idx.query(VertexId(6), VertexId(6)));
+    }
+
+    #[test]
+    fn meta_reports_general_input() {
+        let g = DiGraph::from_edges(2, &[(0, 1)]);
+        let idx = Condensed::build(&g, TransitiveClosure::build_dag);
+        assert_eq!(idx.meta().input, InputClass::General);
+    }
+
+    #[test]
+    fn agrees_with_bfs_on_random_cyclic_graphs() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        use reach_graph::generators::random_digraph;
+        use reach_graph::traverse::{bfs_reaches, VisitMap};
+
+        let mut rng = SmallRng::seed_from_u64(3);
+        for trial in 0..5 {
+            let g = random_digraph(60, 150, &mut rng);
+            let idx = Condensed::build(&g, TransitiveClosure::build_dag);
+            let mut vm = VisitMap::new(g.num_vertices());
+            for s in g.vertices() {
+                for t in g.vertices() {
+                    assert_eq!(
+                        idx.query(s, t),
+                        bfs_reaches(&g, s, t, &mut vm),
+                        "trial {trial}: mismatch at {s:?}->{t:?}"
+                    );
+                }
+            }
+        }
+    }
+}

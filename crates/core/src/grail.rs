@@ -1,0 +1,232 @@
+//! GRAIL \[50\]: k random interval labelings with guided search.
+//!
+//! Each labeling assigns `L_v = [low_v, rank_v]` where `rank_v` is a
+//! randomized DFS post-order number and `low_v` is the minimum rank in
+//! `v`'s forward closure. If `s` reaches `t` then `L_t ⊆ L_s` in
+//! *every* labeling, so a single failed containment proves
+//! non-reachability — no false negatives, the property §5 of the
+//! survey singles out. Containment in all `k` labelings proves
+//! nothing, so undecided queries fall to the guided DFS.
+
+use crate::engine::GuidedSearch;
+use crate::index::{
+    Certainty, Completeness, Dynamism, FilterGuarantees, Framework, IndexMeta,
+    InputClass, ReachFilter,
+};
+use crate::interval::SpanningForest;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use reach_graph::{Dag, DiGraph, VertexId};
+use std::sync::Arc;
+
+/// The pruning filter: `k` independent `(low, rank)` labelings.
+#[derive(Debug, Clone)]
+pub struct GrailFilter {
+    /// `k` labelings, each `n` entries of `(low, rank)`.
+    labelings: Vec<Vec<(u32, u32)>>,
+}
+
+/// Computes one GRAIL labeling from a random DFS post-order.
+fn one_labeling<R: Rng>(dag: &Dag, rng: &mut R) -> Vec<(u32, u32)> {
+    let forest = SpanningForest::build_random(dag.graph(), rng);
+    let n = dag.num_vertices();
+    let mut label: Vec<(u32, u32)> = (0..n)
+        .map(|i| {
+            let r = forest.end(VertexId::new(i));
+            (r, r)
+        })
+        .collect();
+    // low_v = min(rank_v, min over out-neighbors' low): one reverse-topo sweep
+    for &u in dag.topo_order().iter().rev() {
+        let mut low = label[u.index()].0;
+        for &v in dag.out_neighbors(u) {
+            low = low.min(label[v.index()].0);
+        }
+        label[u.index()].0 = low;
+    }
+    label
+}
+
+impl GrailFilter {
+    /// Builds `k` independent labelings seeded from `rng`.
+    pub fn build<R: Rng>(dag: &Dag, k: usize, rng: &mut R) -> Self {
+        assert!(k >= 1, "GRAIL needs at least one labeling");
+        GrailFilter { labelings: (0..k).map(|_| one_labeling(dag, rng)).collect() }
+    }
+
+    /// Number of labelings (the `k` parameter).
+    pub fn num_labelings(&self) -> usize {
+        self.labelings.len()
+    }
+
+    /// Consumes the filter, exposing its raw labelings (used by the
+    /// dynamic DAGGER wrapper).
+    pub(crate) fn into_labelings(self) -> Vec<Vec<(u32, u32)>> {
+        self.labelings
+    }
+
+    /// Assembles a filter from prebuilt labelings (used by the
+    /// parallel builder).
+    pub(crate) fn from_labelings(labelings: Vec<Vec<(u32, u32)>>) -> Self {
+        assert!(!labelings.is_empty());
+        GrailFilter { labelings }
+    }
+}
+
+impl ReachFilter for GrailFilter {
+    fn certain(&self, s: VertexId, t: VertexId) -> Certainty {
+        for label in &self.labelings {
+            let (ls, rs) = label[s.index()];
+            let (lt, rt) = label[t.index()];
+            if !(ls <= lt && rt <= rs) {
+                return Certainty::Unreachable;
+            }
+        }
+        Certainty::Unknown
+    }
+
+    fn guarantees(&self) -> FilterGuarantees {
+        FilterGuarantees { definite_positive: false, definite_negative: true }
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.labelings.iter().map(|l| l.len() * 8).sum()
+    }
+
+    fn size_entries(&self) -> usize {
+        // one interval per vertex per labeling
+        self.labelings.iter().map(Vec::len).sum()
+    }
+}
+
+/// GRAIL as an exact oracle: the filter plus guided DFS.
+pub type Grail = GuidedSearch<GrailFilter>;
+
+/// Builds GRAIL with `k` random labelings.
+pub fn build_grail(dag: &Dag, k: usize, seed: u64) -> Grail {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let filter = GrailFilter::build(dag, k, &mut rng);
+    GuidedSearch::new(
+        Arc::new(dag.graph().clone()),
+        filter,
+        IndexMeta {
+            name: "GRAIL",
+            citation: "[50]",
+            framework: Framework::TreeCover,
+            completeness: Completeness::Partial,
+            input: InputClass::Dag,
+            dynamism: Dynamism::Static,
+        },
+    )
+}
+
+/// Builds GRAIL over an explicitly shared graph (avoids a clone when
+/// the caller already holds an `Arc`).
+pub fn build_grail_shared(graph: Arc<DiGraph>, dag: &Dag, k: usize, seed: u64) -> Grail {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let filter = GrailFilter::build(dag, k, &mut rng);
+    GuidedSearch::new(
+        graph,
+        filter,
+        IndexMeta {
+            name: "GRAIL",
+            citation: "[50]",
+            framework: Framework::TreeCover,
+            completeness: Completeness::Partial,
+            input: InputClass::Dag,
+            dynamism: Dynamism::Static,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::ReachIndex;
+    use crate::tc::TransitiveClosure;
+    use reach_graph::fixtures;
+    use reach_graph::generators::random_dag;
+
+    #[test]
+    fn filter_has_no_false_negatives() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let dag = random_dag(100, 260, &mut rng);
+        let filter = GrailFilter::build(&dag, 3, &mut rng);
+        let tc = TransitiveClosure::build_dag(&dag);
+        for s in dag.vertices() {
+            for t in dag.vertices() {
+                if tc.reaches(s, t) {
+                    assert_ne!(
+                        filter.certain(s, t),
+                        Certainty::Unreachable,
+                        "false negative at {s:?}->{t:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_is_exact() {
+        let mut rng = SmallRng::seed_from_u64(32);
+        for k in [1, 2, 5] {
+            let dag = random_dag(80, 200, &mut rng);
+            let grail = build_grail(&dag, k, 99);
+            let tc = TransitiveClosure::build_dag(&dag);
+            for s in dag.vertices() {
+                for t in dag.vertices() {
+                    assert_eq!(grail.query(s, t), tc.reaches(s, t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_queries() {
+        let dag = Dag::new(fixtures::figure1a()).unwrap();
+        let grail = build_grail(&dag, 2, 7);
+        assert!(grail.query(fixtures::A, fixtures::G));
+        assert!(!grail.query(fixtures::M, fixtures::G));
+    }
+
+    #[test]
+    fn more_labelings_never_weaken_pruning() {
+        // With more labelings the filter can only answer Unreachable
+        // at least as often (each labeling is an independent chance).
+        let mut rng = SmallRng::seed_from_u64(33);
+        let dag = random_dag(60, 150, &mut rng);
+        let f1 = GrailFilter::build(&dag, 1, &mut SmallRng::seed_from_u64(1));
+        let f4 = GrailFilter {
+            labelings: {
+                let mut ls = f1.labelings.clone();
+                ls.extend(GrailFilter::build(&dag, 3, &mut SmallRng::seed_from_u64(2)).labelings);
+                ls
+            },
+        };
+        let mut pruned1 = 0;
+        let mut pruned4 = 0;
+        for s in dag.vertices() {
+            for t in dag.vertices() {
+                if f1.certain(s, t) == Certainty::Unreachable {
+                    pruned1 += 1;
+                    assert_eq!(f4.certain(s, t), Certainty::Unreachable);
+                }
+                if f4.certain(s, t) == Certainty::Unreachable {
+                    pruned4 += 1;
+                }
+            }
+        }
+        assert!(pruned4 >= pruned1);
+    }
+
+    #[test]
+    fn size_scales_with_k() {
+        let mut rng = SmallRng::seed_from_u64(34);
+        let dag = random_dag(50, 120, &mut rng);
+        let f2 = GrailFilter::build(&dag, 2, &mut rng);
+        let f5 = GrailFilter::build(&dag, 5, &mut rng);
+        assert_eq!(f2.size_entries(), 2 * 50);
+        assert_eq!(f5.size_entries(), 5 * 50);
+        assert!(f5.size_bytes() > f2.size_bytes());
+    }
+}

@@ -1,0 +1,234 @@
+//! HL \[25\]: the hierarchical landmark reachability oracle (§3.4).
+//!
+//! Jin & Wang's "simple, fast, and scalable reachability oracle":
+//! a small set of high-degree landmarks stores *complete* forward and
+//! backward reach bitsets, answering every pair whose witness path
+//! touches a landmark by two bit probes. Pairs connected only through
+//! the landmark-free residual graph are answered by a DFS that skips
+//! landmarks — bounded because removing the hubs shatters real graphs.
+//! The combination is a complete index: lookups plus residual search
+//! decide every query exactly.
+
+use crate::index::{
+    Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex,
+};
+use reach_graph::traverse::{Side, VisitMap};
+use reach_graph::{Dag, DiGraph, VertexId};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// The hierarchical-labeling oracle.
+pub struct Hl {
+    graph: Arc<DiGraph>,
+    /// landmark order: `landmarks[i]` owns bit row `i`
+    landmarks: Vec<VertexId>,
+    is_landmark: Vec<bool>,
+    words: usize,
+    /// `fwd[i]`: bitset of vertices reachable from landmark i
+    fwd: Vec<u64>,
+    /// `bwd[i]`: bitset of vertices reaching landmark i
+    bwd: Vec<u64>,
+    scratch: RefCell<Scratch>,
+}
+
+struct Scratch {
+    visit: VisitMap,
+    stack: Vec<VertexId>,
+}
+
+impl Hl {
+    /// Builds the oracle with `k` landmarks chosen by descending degree.
+    pub fn build(dag: &Dag, k: usize) -> Self {
+        Self::build_shared(Arc::new(dag.graph().clone()), k)
+    }
+
+    /// Builds the oracle over an explicitly shared graph (acyclicity
+    /// is not actually required by the construction, but the technique
+    /// is classified as DAG-input in the survey).
+    pub fn build_shared(graph: Arc<DiGraph>, k: usize) -> Self {
+        let n = graph.num_vertices();
+        let k = k.min(n);
+        let words = n.div_ceil(64).max(1);
+        let mut by_degree: Vec<VertexId> = graph.vertices().collect();
+        by_degree.sort_by_key(|&v| (std::cmp::Reverse(graph.degree(v)), v.0));
+        let landmarks: Vec<VertexId> = by_degree.into_iter().take(k).collect();
+        let mut is_landmark = vec![false; n];
+        for &lm in &landmarks {
+            is_landmark[lm.index()] = true;
+        }
+        let mut fwd = vec![0u64; k * words];
+        let mut bwd = vec![0u64; k * words];
+        for (i, &lm) in landmarks.iter().enumerate() {
+            for v in reach_graph::traverse::forward_closure(&graph, lm) {
+                fwd[i * words + v.index() / 64] |= 1 << (v.index() % 64);
+            }
+            for v in reach_graph::traverse::backward_closure(&graph, lm) {
+                bwd[i * words + v.index() / 64] |= 1 << (v.index() % 64);
+            }
+        }
+        Hl {
+            graph,
+            landmarks,
+            is_landmark,
+            words,
+            fwd,
+            bwd,
+            scratch: RefCell::new(Scratch { visit: VisitMap::new(n), stack: Vec::new() }),
+        }
+    }
+
+    /// Assembles an oracle from precomputed landmark reach sets (used
+    /// by the parallel builder).
+    pub(crate) fn from_parts(
+        graph: Arc<DiGraph>,
+        landmarks: Vec<VertexId>,
+        words: usize,
+        fwd: Vec<u64>,
+        bwd: Vec<u64>,
+    ) -> Self {
+        let n = graph.num_vertices();
+        let mut is_landmark = vec![false; n];
+        for &lm in &landmarks {
+            is_landmark[lm.index()] = true;
+        }
+        Hl {
+            graph,
+            landmarks,
+            is_landmark,
+            words,
+            fwd,
+            bwd,
+            scratch: RefCell::new(Scratch { visit: VisitMap::new(n), stack: Vec::new() }),
+        }
+    }
+
+    /// Number of landmarks.
+    pub fn num_landmarks(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    #[inline]
+    fn bit(table: &[u64], row: usize, words: usize, v: VertexId) -> bool {
+        table[row * words + v.index() / 64] >> (v.index() % 64) & 1 == 1
+    }
+}
+
+impl ReachIndex for Hl {
+    fn query(&self, s: VertexId, t: VertexId) -> bool {
+        if s == t {
+            return true;
+        }
+        // landmark lookup: any landmark on some s-t path decides
+        for i in 0..self.landmarks.len() {
+            if Self::bit(&self.bwd, i, self.words, s)
+                && Self::bit(&self.fwd, i, self.words, t)
+            {
+                return true;
+            }
+        }
+        // residual search: paths avoiding every landmark
+        if self.is_landmark[s.index()] || self.is_landmark[t.index()] {
+            // any path from/to a landmark endpoint touches a landmark,
+            // so the lookup above was already conclusive
+            return false;
+        }
+        let scratch = &mut *self.scratch.borrow_mut();
+        scratch.visit.reset();
+        scratch.stack.clear();
+        scratch.stack.push(s);
+        scratch.visit.mark(s, Side::Forward);
+        while let Some(u) = scratch.stack.pop() {
+            for &v in self.graph.out_neighbors(u) {
+                if v == t {
+                    return true;
+                }
+                if !self.is_landmark[v.index()] && scratch.visit.mark(v, Side::Forward) {
+                    scratch.stack.push(v);
+                }
+            }
+        }
+        false
+    }
+
+    fn meta(&self) -> IndexMeta {
+        IndexMeta {
+            name: "HL",
+            citation: "[25]",
+            framework: Framework::Other,
+            completeness: Completeness::Complete,
+            input: InputClass::Dag,
+            dynamism: Dynamism::Static,
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        8 * (self.fwd.len() + self.bwd.len()) + self.is_landmark.len()
+    }
+
+    fn size_entries(&self) -> usize {
+        // set bits are the materialized reachability facts
+        self.fwd.iter().chain(self.bwd.iter()).map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tc::TransitiveClosure;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use reach_graph::fixtures;
+    use reach_graph::generators::{power_law_dag, random_dag};
+
+    fn check(dag: &Dag, k: usize) {
+        let idx = Hl::build(dag, k);
+        let tc = TransitiveClosure::build_dag(dag);
+        for s in dag.vertices() {
+            for t in dag.vertices() {
+                assert_eq!(idx.query(s, t), tc.reaches(s, t), "k={k} at {s:?}->{t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_figure1_for_all_k() {
+        let dag = Dag::new(fixtures::figure1a()).unwrap();
+        for k in [0, 1, 3, 9] {
+            check(&dag, k);
+        }
+    }
+
+    #[test]
+    fn exact_on_random_dags() {
+        let mut rng = SmallRng::seed_from_u64(181);
+        for _ in 0..3 {
+            check(&random_dag(70, 190, &mut rng), 8);
+        }
+    }
+
+    #[test]
+    fn exact_on_hub_graphs() {
+        let mut rng = SmallRng::seed_from_u64(182);
+        check(&power_law_dag(150, 2, &mut rng), 10);
+    }
+
+    #[test]
+    fn zero_landmarks_degenerates_to_search() {
+        let mut rng = SmallRng::seed_from_u64(183);
+        check(&random_dag(40, 100, &mut rng), 0);
+    }
+
+    #[test]
+    fn landmark_endpoint_pairs_use_lookup_only() {
+        // s itself a landmark: every s-t path "touches a landmark" at s
+        let dag = Dag::new(fixtures::figure1a()).unwrap();
+        let idx = Hl::build(&dag, 9); // all vertices are landmarks
+        assert_eq!(idx.num_landmarks(), 9);
+        let tc = TransitiveClosure::build_dag(&dag);
+        for s in dag.vertices() {
+            for t in dag.vertices() {
+                assert_eq!(idx.query(s, t), tc.reaches(s, t));
+            }
+        }
+    }
+}

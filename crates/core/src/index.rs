@@ -1,0 +1,181 @@
+//! The common interface of plain reachability indexes, and the
+//! classification metadata of the survey's Table 1.
+
+use reach_graph::VertexId;
+
+/// The indexing framework a technique belongs to (Table 1, column
+/// "Framework").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Framework {
+    /// Materialized transitive closure (the naive baseline of §2.3).
+    TransitiveClosure,
+    /// Interval labeling over spanning trees with inheritance (§3.1).
+    TreeCover,
+    /// 2-hop labeling and its descendants (§3.2).
+    TwoHop,
+    /// Approximate transitive closure via order-preserving sketches (§3.3).
+    ApproximateTc,
+    /// Techniques outside the three main frameworks (§3.4).
+    Other,
+}
+
+/// Whether queries are answered by index lookups alone (Table 1,
+/// column "Index Type").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Completeness {
+    /// Lookup-only: the index alone decides every query.
+    Complete,
+    /// The index is a filter; undecided queries fall back to guided
+    /// graph traversal.
+    Partial,
+}
+
+/// The input class an index assumes (Table 1, column "Input").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputClass {
+    /// Directed acyclic graphs; general graphs go through SCC
+    /// condensation first (see [`crate::general::Condensed`]).
+    Dag,
+    /// Arbitrary directed graphs.
+    General,
+}
+
+/// Update support (Table 1, column "Dynamic").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dynamism {
+    /// Rebuilt from scratch on change.
+    Static,
+    /// Supports edge insertions only (e.g. DBL).
+    InsertOnly,
+    /// Supports edge insertions and deletions (e.g. TOL, DAGGER).
+    InsertDelete,
+}
+
+/// Static classification of an index — one row of the survey's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexMeta {
+    /// Short technique name as used in the survey.
+    pub name: &'static str,
+    /// Citation tag in the survey's bibliography.
+    pub citation: &'static str,
+    /// Framework column.
+    pub framework: Framework,
+    /// Index-type column.
+    pub completeness: Completeness,
+    /// Input column.
+    pub input: InputClass,
+    /// Dynamic column.
+    pub dynamism: Dynamism,
+}
+
+/// A plain reachability index: answers `Qr(s, t)` — "does a directed
+/// path from `s` to `t` exist?" — exactly.
+///
+/// Partial indexes (in the survey's sense) still implement this trait:
+/// their `query` combines index lookups with guided traversal via
+/// [`crate::engine::GuidedSearch`], so every implementation is an
+/// exact oracle. The partial/complete distinction is visible through
+/// [`IndexMeta::completeness`] and through the [`ReachFilter`] trait.
+pub trait ReachIndex {
+    /// Whether `t` is reachable from `s` (every vertex reaches itself).
+    fn query(&self, s: VertexId, t: VertexId) -> bool;
+
+    /// This technique's Table-1 classification.
+    fn meta(&self) -> IndexMeta;
+
+    /// Approximate heap footprint of the index structures in bytes,
+    /// excluding the graph itself.
+    fn size_bytes(&self) -> usize;
+
+    /// Number of label entries / intervals / bitset words — the
+    /// abstract "index size" measure the survey compares (e.g. total
+    /// interval count for tree cover, Σ|Lin|+|Lout| for 2-hop).
+    fn size_entries(&self) -> usize;
+}
+
+/// The answer of one index-lookup on a partial index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Certainty {
+    /// The lookup proves a path exists.
+    Reachable,
+    /// The lookup proves no path exists.
+    Unreachable,
+    /// The lookup is inconclusive; traversal must continue.
+    Unknown,
+}
+
+/// What a partial index's lookups can guarantee — the distinction §5
+/// of the survey builds its argument on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterGuarantees {
+    /// The filter sometimes returns [`Certainty::Reachable`], and such
+    /// answers are always correct (no false positives on the positive
+    /// side).
+    pub definite_positive: bool,
+    /// The filter sometimes returns [`Certainty::Unreachable`], and
+    /// such answers are always correct (no false negatives: if a pair
+    /// is reachable the filter never says `Unreachable`).
+    pub definite_negative: bool,
+}
+
+/// A partial index viewed as a pruning filter, in the sense of §3.3
+/// and §5: a cheap per-pair lookup that is allowed to answer `Unknown`.
+///
+/// [`crate::engine::GuidedSearch`] lifts any filter into an exact
+/// [`ReachIndex`] by running a DFS that (a) terminates immediately on a
+/// `Reachable` verdict and (b) skips subtrees with an `Unreachable`
+/// verdict — exactly the guided traversal the survey describes.
+pub trait ReachFilter {
+    /// One index lookup for the pair `(s, t)`.
+    fn certain(&self, s: VertexId, t: VertexId) -> Certainty;
+
+    /// Which verdicts this filter can produce.
+    fn guarantees(&self) -> FilterGuarantees;
+
+    /// Approximate heap footprint of the filter in bytes.
+    fn size_bytes(&self) -> usize;
+
+    /// Abstract entry count (see [`ReachIndex::size_entries`]).
+    fn size_entries(&self) -> usize;
+}
+
+impl<F: ReachFilter + ?Sized> ReachFilter for Box<F> {
+    fn certain(&self, s: VertexId, t: VertexId) -> Certainty {
+        (**self).certain(s, t)
+    }
+    fn guarantees(&self) -> FilterGuarantees {
+        (**self).guarantees()
+    }
+    fn size_bytes(&self) -> usize {
+        (**self).size_bytes()
+    }
+    fn size_entries(&self) -> usize {
+        (**self).size_entries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_is_plain_data() {
+        let m = IndexMeta {
+            name: "X",
+            citation: "[0]",
+            framework: Framework::TwoHop,
+            completeness: Completeness::Complete,
+            input: InputClass::Dag,
+            dynamism: Dynamism::Static,
+        };
+        let copy = m;
+        assert_eq!(copy, m);
+        assert_eq!(copy.framework, Framework::TwoHop);
+    }
+
+    #[test]
+    fn certainty_equality() {
+        assert_ne!(Certainty::Reachable, Certainty::Unknown);
+        assert_eq!(Certainty::Unreachable, Certainty::Unreachable);
+    }
+}

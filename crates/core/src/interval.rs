@@ -1,0 +1,254 @@
+//! Interval labeling over spanning forests — the shared primitive of
+//! every tree-cover index (§3.1).
+//!
+//! *"For each vertex v, b_v is v's post-order number obtained by the
+//! post-order traversal from the root of the tree, and a_v is the
+//! lowest post-order number of all the descendants of v in the tree.
+//! `Qr(s,t)` can be processed by checking if b_t ∈ [a_s, b_s]."*
+
+use rand::Rng;
+use reach_graph::{DiGraph, VertexId};
+
+/// A spanning forest of a digraph: each vertex's discovery parent in a
+/// DFS from the unvisited-vertex roots, plus its post-order interval.
+///
+/// `contains(u, v)` decides *tree* ancestry in O(1); edges of the
+/// underlying graph that were not used for discovery are reported as
+/// [`non_tree_edges`](Self::non_tree_edges) and are exactly what the
+/// different tree-cover techniques handle differently.
+#[derive(Debug, Clone)]
+pub struct SpanningForest {
+    parent: Vec<Option<VertexId>>,
+    /// a_v: lowest post-order number in v's subtree.
+    start: Vec<u32>,
+    /// b_v: v's own post-order number.
+    end: Vec<u32>,
+    non_tree: Vec<(VertexId, VertexId)>,
+}
+
+impl SpanningForest {
+    /// Builds a deterministic spanning forest: roots and children are
+    /// visited in ascending id order.
+    pub fn build(g: &DiGraph) -> Self {
+        Self::build_inner(g, None::<&mut rand::rngs::SmallRng>)
+    }
+
+    /// Builds a randomized spanning forest: root order and child order
+    /// are shuffled. Repeated calls give the independent random trees
+    /// GRAIL-style techniques need.
+    pub fn build_random<R: Rng>(g: &DiGraph, rng: &mut R) -> Self {
+        Self::build_inner(g, Some(rng))
+    }
+
+    fn build_inner<R: Rng>(g: &DiGraph, mut rng: Option<&mut R>) -> Self {
+        let n = g.num_vertices();
+        let mut parent: Vec<Option<VertexId>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut start = vec![0u32; n];
+        let mut end = vec![0u32; n];
+        let mut non_tree = Vec::new();
+        let mut counter = 0u32;
+
+        let mut roots: Vec<VertexId> = (0..n as u32).map(VertexId).collect();
+        if let Some(rng) = rng.as_deref_mut() {
+            shuffle(&mut roots, rng);
+        }
+
+        // Iterative DFS; each frame remembers the shuffled neighbor
+        // list and a cursor, and the post-order counter at entry (the
+        // eventual a_v).
+        struct Frame {
+            v: VertexId,
+            neighbors: Vec<VertexId>,
+            cursor: usize,
+            entry_counter: u32,
+        }
+        let mut stack: Vec<Frame> = Vec::new();
+
+        for root in roots {
+            if visited[root.index()] {
+                continue;
+            }
+            visited[root.index()] = true;
+            let mut neighbors = g.out_neighbors(root).to_vec();
+            if let Some(rng) = rng.as_deref_mut() {
+                shuffle(&mut neighbors, rng);
+            }
+            stack.push(Frame { v: root, neighbors, cursor: 0, entry_counter: counter });
+            while let Some(top) = stack.last_mut() {
+                if top.cursor < top.neighbors.len() {
+                    let w = top.neighbors[top.cursor];
+                    let v = top.v;
+                    top.cursor += 1;
+                    if visited[w.index()] {
+                        non_tree.push((v, w));
+                    } else {
+                        visited[w.index()] = true;
+                        parent[w.index()] = Some(v);
+                        let mut nb = g.out_neighbors(w).to_vec();
+                        if let Some(rng) = rng.as_deref_mut() {
+                            shuffle(&mut nb, rng);
+                        }
+                        stack.push(Frame {
+                            v: w,
+                            neighbors: nb,
+                            cursor: 0,
+                            entry_counter: counter,
+                        });
+                    }
+                } else {
+                    counter += 1;
+                    start[top.v.index()] = top.entry_counter + 1;
+                    end[top.v.index()] = counter;
+                    stack.pop();
+                }
+            }
+        }
+        SpanningForest { parent, start, end, non_tree }
+    }
+
+    /// Whether `v` lies in the tree subtree rooted at `u` (including
+    /// `u` itself): `b_v ∈ [a_u, b_u]`.
+    #[inline]
+    pub fn contains(&self, u: VertexId, v: VertexId) -> bool {
+        self.start[u.index()] <= self.end[v.index()]
+            && self.end[v.index()] <= self.end[u.index()]
+    }
+
+    /// `a_v`: the lowest post-order number in `v`'s subtree.
+    #[inline]
+    pub fn start(&self, v: VertexId) -> u32 {
+        self.start[v.index()]
+    }
+
+    /// `b_v`: the post-order number of `v`.
+    #[inline]
+    pub fn end(&self, v: VertexId) -> u32 {
+        self.end[v.index()]
+    }
+
+    /// The DFS parent of `v`, or `None` for forest roots.
+    #[inline]
+    pub fn parent(&self, v: VertexId) -> Option<VertexId> {
+        self.parent[v.index()]
+    }
+
+    /// The edges of the graph that are not forest edges, in the order
+    /// the DFS encountered them.
+    pub fn non_tree_edges(&self) -> &[(VertexId, VertexId)] {
+        &self.non_tree
+    }
+
+    /// Number of vertices covered by the forest.
+    pub fn num_vertices(&self) -> usize {
+        self.parent.len()
+    }
+}
+
+fn shuffle<T, R: Rng>(items: &mut [T], rng: &mut R) {
+    for i in (1..items.len()).rev() {
+        items.swap(i, rng.random_range(0..=i));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use reach_graph::fixtures;
+
+    fn tree() -> DiGraph {
+        //       0
+        //      / \
+        //     1   2
+        //    / \
+        //   3   4
+        DiGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (1, 4)])
+    }
+
+    #[test]
+    fn pure_tree_has_no_non_tree_edges() {
+        let f = SpanningForest::build(&tree());
+        assert!(f.non_tree_edges().is_empty());
+    }
+
+    #[test]
+    fn containment_matches_ancestry() {
+        let g = tree();
+        let f = SpanningForest::build(&g);
+        let anc = |u: u32, v: u32| f.contains(VertexId(u), VertexId(v));
+        assert!(anc(0, 3) && anc(0, 4) && anc(1, 3) && anc(1, 4));
+        assert!(anc(0, 0) && anc(3, 3));
+        assert!(!anc(2, 3) && !anc(3, 1) && !anc(1, 2));
+    }
+
+    #[test]
+    fn post_order_numbers_are_a_permutation() {
+        let f = SpanningForest::build(&fixtures::figure1a());
+        let mut ends: Vec<u32> = (0..f.num_vertices())
+            .map(|i| f.end(VertexId::new(i)))
+            .collect();
+        ends.sort_unstable();
+        let expect: Vec<u32> = (1..=f.num_vertices() as u32).collect();
+        assert_eq!(ends, expect);
+    }
+
+    #[test]
+    fn non_tree_edges_complete_the_edge_set() {
+        let g = fixtures::figure1a();
+        let f = SpanningForest::build(&g);
+        let tree_edges = g
+            .edges()
+            .filter(|&(u, v)| f.parent(v) == Some(u))
+            .count();
+        assert_eq!(tree_edges + f.non_tree_edges().len(), g.num_edges());
+    }
+
+    #[test]
+    fn tree_descendants_are_reachable() {
+        // tree containment is a sound positive filter on the graph
+        let g = fixtures::figure1a();
+        let f = SpanningForest::build(&g);
+        let mut vm = reach_graph::traverse::VisitMap::new(g.num_vertices());
+        for u in g.vertices() {
+            for v in g.vertices() {
+                if f.contains(u, v) {
+                    assert!(reach_graph::traverse::bfs_reaches(&g, u, v, &mut vm));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_forests_differ_but_stay_valid() {
+        let g = fixtures::figure1a();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let forests: Vec<SpanningForest> =
+            (0..8).map(|_| SpanningForest::build_random(&g, &mut rng)).collect();
+        // all valid positive filters
+        let mut vm = reach_graph::traverse::VisitMap::new(g.num_vertices());
+        for f in &forests {
+            for u in g.vertices() {
+                for v in g.vertices() {
+                    if f.contains(u, v) {
+                        assert!(reach_graph::traverse::bfs_reaches(&g, u, v, &mut vm));
+                    }
+                }
+            }
+        }
+        // at least two of them disagree on some interval (randomization works)
+        let distinct = forests
+            .iter()
+            .any(|f| (0..9).any(|i| f.end(VertexId(i)) != forests[0].end(VertexId(i))));
+        assert!(distinct, "8 random forests all identical is vanishingly unlikely");
+    }
+
+    #[test]
+    fn cyclic_graph_gets_a_forest_too() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let f = SpanningForest::build(&g);
+        assert_eq!(f.non_tree_edges().len(), 1);
+        assert!(f.contains(VertexId(0), VertexId(2)));
+    }
+}

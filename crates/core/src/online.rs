@@ -1,0 +1,120 @@
+//! Index-free online traversal, packaged as [`ReachIndex`] baselines
+//! (§2.3: BFS, DFS, BiBFS).
+//!
+//! These are the comparators every index must beat; the `claims`
+//! harness uses them to reproduce the survey's "an order of magnitude
+//! faster than using only graph traversal" observation.
+
+use crate::index::{
+    Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex,
+};
+use reach_graph::traverse::{self, VisitMap};
+use reach_graph::{DiGraph, VertexId};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// Which traversal strategy an [`OnlineSearch`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Breadth-first search from the source.
+    Bfs,
+    /// Depth-first search from the source.
+    Dfs,
+    /// Bidirectional BFS from both endpoints.
+    BiBfs,
+}
+
+/// An online-traversal "index": no precomputation, every query is a
+/// fresh traversal.
+pub struct OnlineSearch {
+    graph: Arc<DiGraph>,
+    strategy: Strategy,
+    visit: RefCell<VisitMap>,
+}
+
+impl OnlineSearch {
+    /// Wraps `graph` with the chosen traversal strategy.
+    pub fn new(graph: Arc<DiGraph>, strategy: Strategy) -> Self {
+        let n = graph.num_vertices();
+        OnlineSearch { graph, strategy, visit: RefCell::new(VisitMap::new(n)) }
+    }
+
+    /// The traversal strategy in use.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+}
+
+impl ReachIndex for OnlineSearch {
+    fn query(&self, s: VertexId, t: VertexId) -> bool {
+        let visit = &mut *self.visit.borrow_mut();
+        match self.strategy {
+            Strategy::Bfs => traverse::bfs_reaches(&self.graph, s, t, visit),
+            Strategy::Dfs => traverse::dfs_reaches(&self.graph, s, t, visit),
+            Strategy::BiBfs => traverse::bibfs_reaches(&self.graph, s, t, visit),
+        }
+    }
+
+    fn meta(&self) -> IndexMeta {
+        IndexMeta {
+            name: match self.strategy {
+                Strategy::Bfs => "online-BFS",
+                Strategy::Dfs => "online-DFS",
+                Strategy::BiBfs => "online-BiBFS",
+            },
+            citation: "[50]",
+            framework: Framework::Other,
+            completeness: Completeness::Partial,
+            input: InputClass::General,
+            dynamism: Dynamism::InsertDelete,
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        0
+    }
+
+    fn size_entries(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> Arc<DiGraph> {
+        Arc::new(DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3)]))
+    }
+
+    #[test]
+    fn all_strategies_agree() {
+        let g = graph();
+        let idxs = [
+            OnlineSearch::new(g.clone(), Strategy::Bfs),
+            OnlineSearch::new(g.clone(), Strategy::Dfs),
+            OnlineSearch::new(g.clone(), Strategy::BiBfs),
+        ];
+        for s in g.vertices() {
+            for t in g.vertices() {
+                let answers: Vec<bool> = idxs.iter().map(|i| i.query(s, t)).collect();
+                assert!(answers.windows(2).all(|w| w[0] == w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_index_footprint() {
+        let idx = OnlineSearch::new(graph(), Strategy::Bfs);
+        assert_eq!(idx.size_bytes(), 0);
+        assert_eq!(idx.size_entries(), 0);
+    }
+
+    #[test]
+    fn metas_are_distinct() {
+        let g = graph();
+        let a = OnlineSearch::new(g.clone(), Strategy::Bfs).meta();
+        let b = OnlineSearch::new(g, Strategy::BiBfs).meta();
+        assert_ne!(a.name, b.name);
+    }
+}

@@ -1,0 +1,266 @@
+//! PReaCH \[31\]: pruned bidirectional search with contraction-style
+//! filters (§3.4).
+//!
+//! PReaCH combines cheap per-vertex certificates — DFS subtree
+//! intervals (definite positives), topological levels in both
+//! directions (definite negatives) — with a *bidirectional* pruned
+//! BFS. Both frontiers consult the certificates: the forward frontier
+//! skips vertices that provably cannot reach `t`, the backward
+//! frontier skips vertices provably unreachable from `s`, and a
+//! frontier meeting or a positive certificate terminates early.
+
+use crate::index::{
+    Certainty, Completeness, Dynamism, FilterGuarantees, Framework, IndexMeta,
+    InputClass, ReachFilter, ReachIndex,
+};
+use crate::interval::SpanningForest;
+use reach_graph::topo::topological_levels;
+use reach_graph::traverse::{Side, VisitMap};
+use reach_graph::{Dag, DiGraph, VertexId};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// The PReaCH certificate set, usable stand-alone as a filter.
+#[derive(Debug, Clone)]
+pub struct PreachFilter {
+    forest: SpanningForest,
+    level_fwd: Vec<u32>,
+    level_bwd: Vec<u32>,
+    /// min forward level reachable... rather: smallest DFS post-order
+    /// number in the forward closure (a GRAIL-style lower bound).
+    min_post: Vec<u32>,
+}
+
+impl PreachFilter {
+    /// Builds the certificates for a DAG.
+    pub fn build(dag: &Dag) -> Self {
+        let g = dag.graph();
+        let forest = SpanningForest::build(g);
+        let mut min_post: Vec<u32> =
+            (0..g.num_vertices()).map(|i| forest.end(VertexId::new(i))).collect();
+        for &u in dag.topo_order().iter().rev() {
+            for &v in dag.out_neighbors(u) {
+                min_post[u.index()] = min_post[u.index()].min(min_post[v.index()]);
+            }
+        }
+        PreachFilter {
+            forest,
+            level_fwd: topological_levels(g).expect("DAG input"),
+            level_bwd: topological_levels(&g.reverse()).expect("DAG input"),
+            min_post,
+        }
+    }
+}
+
+impl ReachFilter for PreachFilter {
+    fn certain(&self, s: VertexId, t: VertexId) -> Certainty {
+        if s == t {
+            return Certainty::Reachable;
+        }
+        if self.level_fwd[s.index()] >= self.level_fwd[t.index()]
+            || self.level_bwd[s.index()] <= self.level_bwd[t.index()]
+        {
+            return Certainty::Unreachable;
+        }
+        if self.forest.contains(s, t) {
+            return Certainty::Reachable;
+        }
+        // GRAIL-style containment: the forward closure of s spans
+        // post-order numbers [min_post(s), post(s)]
+        let post_t = self.forest.end(t);
+        if post_t < self.min_post[s.index()] || post_t > self.forest.end(s) {
+            return Certainty::Unreachable;
+        }
+        Certainty::Unknown
+    }
+
+    fn guarantees(&self) -> FilterGuarantees {
+        FilterGuarantees { definite_positive: true, definite_negative: true }
+    }
+
+    fn size_bytes(&self) -> usize {
+        // interval (8) + two levels (8) + min_post (4) per vertex
+        20 * self.level_fwd.len()
+    }
+
+    fn size_entries(&self) -> usize {
+        self.level_fwd.len()
+    }
+}
+
+/// The PReaCH oracle: certificates plus pruned bidirectional BFS.
+pub struct Preach {
+    graph: Arc<DiGraph>,
+    filter: PreachFilter,
+    scratch: RefCell<VisitMap>,
+}
+
+impl Preach {
+    /// Builds PReaCH over a DAG.
+    pub fn build(dag: &Dag) -> Self {
+        Self::build_shared(Arc::new(dag.graph().clone()), dag)
+    }
+
+    /// Builds PReaCH over an explicitly shared graph.
+    pub fn build_shared(graph: Arc<DiGraph>, dag: &Dag) -> Self {
+        let n = graph.num_vertices();
+        Preach {
+            graph,
+            filter: PreachFilter::build(dag),
+            scratch: RefCell::new(VisitMap::new(n)),
+        }
+    }
+
+    /// The certificate filter.
+    pub fn filter(&self) -> &PreachFilter {
+        &self.filter
+    }
+}
+
+impl ReachIndex for Preach {
+    fn query(&self, s: VertexId, t: VertexId) -> bool {
+        match self.filter.certain(s, t) {
+            Certainty::Reachable => return true,
+            Certainty::Unreachable => return false,
+            Certainty::Unknown => {}
+        }
+        let visit = &mut *self.scratch.borrow_mut();
+        visit.reset();
+        visit.mark(s, Side::Forward);
+        visit.mark(t, Side::Backward);
+        let mut fwd = vec![s];
+        let mut bwd = vec![t];
+        while !fwd.is_empty() && !bwd.is_empty() {
+            if fwd.len() <= bwd.len() {
+                let mut next = Vec::new();
+                for &u in &fwd {
+                    for &v in self.graph.out_neighbors(u) {
+                        if visit.is_marked(v, Side::Backward) {
+                            return true;
+                        }
+                        if !visit.mark(v, Side::Forward) {
+                            continue;
+                        }
+                        match self.filter.certain(v, t) {
+                            Certainty::Reachable => return true,
+                            Certainty::Unreachable => {}
+                            Certainty::Unknown => next.push(v),
+                        }
+                    }
+                }
+                fwd = next;
+            } else {
+                let mut next = Vec::new();
+                for &u in &bwd {
+                    for &v in self.graph.in_neighbors(u) {
+                        if visit.is_marked(v, Side::Forward) {
+                            return true;
+                        }
+                        if !visit.mark(v, Side::Backward) {
+                            continue;
+                        }
+                        match self.filter.certain(s, v) {
+                            Certainty::Reachable => return true,
+                            Certainty::Unreachable => {}
+                            Certainty::Unknown => next.push(v),
+                        }
+                    }
+                }
+                bwd = next;
+            }
+        }
+        false
+    }
+
+    fn meta(&self) -> IndexMeta {
+        IndexMeta {
+            name: "PReaCH",
+            citation: "[31]",
+            framework: Framework::Other,
+            completeness: Completeness::Partial,
+            input: InputClass::Dag,
+            dynamism: Dynamism::Static,
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.filter.size_bytes()
+    }
+
+    fn size_entries(&self) -> usize {
+        self.filter.size_entries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tc::TransitiveClosure;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use reach_graph::fixtures;
+    use reach_graph::generators::{layered_dag, random_dag};
+
+    #[test]
+    fn filter_verdicts_are_sound() {
+        let mut rng = SmallRng::seed_from_u64(171);
+        let dag = random_dag(90, 230, &mut rng);
+        let f = PreachFilter::build(&dag);
+        let tc = TransitiveClosure::build_dag(&dag);
+        for s in dag.vertices() {
+            for t in dag.vertices() {
+                match f.certain(s, t) {
+                    Certainty::Reachable => assert!(tc.reaches(s, t)),
+                    Certainty::Unreachable => assert!(!tc.reaches(s, t)),
+                    Certainty::Unknown => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_is_exact() {
+        let mut rng = SmallRng::seed_from_u64(172);
+        for _ in 0..3 {
+            let dag = random_dag(75, 200, &mut rng);
+            let idx = Preach::build(&dag);
+            let tc = TransitiveClosure::build_dag(&dag);
+            for s in dag.vertices() {
+                for t in dag.vertices() {
+                    assert_eq!(idx.query(s, t), tc.reaches(s, t), "at {s:?}->{t:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_deep_layered_dags() {
+        // the level filters' best case
+        let mut rng = SmallRng::seed_from_u64(173);
+        let dag = layered_dag(10, 6, 2, &mut rng);
+        let idx = Preach::build(&dag);
+        let tc = TransitiveClosure::build_dag(&dag);
+        for s in dag.vertices() {
+            for t in dag.vertices() {
+                assert_eq!(idx.query(s, t), tc.reaches(s, t));
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_queries() {
+        let dag = Dag::new(fixtures::figure1a()).unwrap();
+        let idx = Preach::build(&dag);
+        assert!(idx.query(fixtures::A, fixtures::G));
+        assert!(!idx.query(fixtures::M, fixtures::H));
+    }
+
+    #[test]
+    fn certificates_have_small_footprint() {
+        let mut rng = SmallRng::seed_from_u64(174);
+        let dag = random_dag(1000, 3000, &mut rng);
+        let idx = Preach::build(&dag);
+        // constant per-vertex certificate size
+        assert_eq!(idx.size_entries(), 1000);
+    }
+}

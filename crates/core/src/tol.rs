@@ -1,0 +1,567 @@
+//! TOL \[55\]: the total-order 2-hop labeling framework, with the TFL
+//! \[13\] and DL \[25\] instantiations and dynamic maintenance.
+//!
+//! §3.2: *"TOL is a general approach for computing the 2-hop index
+//! with a total order of vertices as input, and TFL, DL, and PLL are
+//! instantiations of TOL."* Every vertex `w` labels exactly its
+//! *restricted closure*: the vertices reachable from `w` along paths
+//! whose interior vertices all have lower priority than `w`. This is
+//! the canonical label set of the total order:
+//!
+//! * **complete** — for any reachable pair `(s, t)`, the
+//!   highest-priority vertex on a witness path appears in
+//!   `Lout(s) ∩ Lin(t)`;
+//! * **local** — whether `w ∈ Lin(x)` depends only on `w`'s restricted
+//!   closure, never on other hops' labels, which is what makes edge
+//!   insertions *and* deletions maintainable without cascading
+//!   invalidation (the property the TOL paper exploits for its
+//!   dynamic-graph support).
+
+use crate::index::{
+    Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex,
+};
+use reach_graph::{Dag, DiGraph, VertexId};
+
+/// The vertex total order a TOL instance is built with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderStrategy {
+    /// Topological order of a DAG — the TFL \[13\] instantiation.
+    Topological,
+    /// Descending total degree — the DL \[25\] instantiation (the same
+    /// order family as PLL \[49\]).
+    DegreeDescending,
+    /// Ascending vertex id, for ablation baselines.
+    ById,
+}
+
+/// A TOL index instance.
+///
+/// ```
+/// use reach_core::tol::{OrderStrategy, Tol};
+/// use reach_core::ReachIndex;
+/// use reach_graph::{DiGraph, VertexId};
+///
+/// let g = DiGraph::from_edges(3, &[(0, 1)]);
+/// let mut tol = Tol::build(&g, OrderStrategy::DegreeDescending);
+/// assert!(!tol.query(VertexId(0), VertexId(2)));
+///
+/// tol.insert_edge(VertexId(1), VertexId(2));
+/// assert!(tol.query(VertexId(0), VertexId(2)));
+///
+/// tol.delete_edge(VertexId(0), VertexId(1));
+/// assert!(!tol.query(VertexId(0), VertexId(2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tol {
+    // dynamic adjacency: the index owns its graph so updates stay local
+    out_adj: Vec<Vec<VertexId>>,
+    in_adj: Vec<Vec<VertexId>>,
+    /// rank 0 = highest priority
+    rank_of: Vec<u32>,
+    vertex_at: Vec<VertexId>,
+    /// `lin[x]`: sorted ranks of hops whose restricted closure contains `x`.
+    lin: Vec<Vec<u32>>,
+    /// `lout[x]`: sorted ranks of hops whose restricted *backward*
+    /// closure contains `x`.
+    lout: Vec<Vec<u32>>,
+    meta: IndexMeta,
+}
+
+fn order_ranks(g: &DiGraph, strategy: OrderStrategy) -> Vec<VertexId> {
+    match strategy {
+        OrderStrategy::Topological => {
+            unreachable!("topological strategy is built via build_tfl")
+        }
+        OrderStrategy::DegreeDescending => {
+            let mut vs: Vec<VertexId> = g.vertices().collect();
+            vs.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v.0));
+            vs
+        }
+        OrderStrategy::ById => g.vertices().collect(),
+    }
+}
+
+impl Tol {
+    /// Builds a TOL index over `g` with an explicit vertex order
+    /// (`order[0]` is the highest-priority hop).
+    pub fn build_with_order(g: &DiGraph, order: &[VertexId], meta: IndexMeta) -> Self {
+        assert_eq!(order.len(), g.num_vertices(), "order must cover all vertices");
+        let n = g.num_vertices();
+        let mut rank_of = vec![0u32; n];
+        for (r, &v) in order.iter().enumerate() {
+            rank_of[v.index()] = r as u32;
+        }
+        // Initial construction appends (hop, member) facts and sorts
+        // once per vertex — ~3× faster than the sorted-insertion path,
+        // which only the incremental updates need.
+        let mut lin: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut lout: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut seen = vec![false; n];
+        let mut queue: Vec<VertexId> = Vec::new();
+        for r in 0..n as u32 {
+            let w = order[r as usize];
+            for forward in [true, false] {
+                queue.clear();
+                queue.push(w);
+                seen[w.index()] = true;
+                let mut head = 0;
+                while head < queue.len() {
+                    let x = queue[head];
+                    head += 1;
+                    if forward {
+                        lin[x.index()].push(r);
+                    } else {
+                        lout[x.index()].push(r);
+                    }
+                    if x == w || rank_of[x.index()] > r {
+                        let adj = if forward { g.out_neighbors(x) } else { g.in_neighbors(x) };
+                        for &y in adj {
+                            if !seen[y.index()] {
+                                seen[y.index()] = true;
+                                queue.push(y);
+                            }
+                        }
+                    }
+                }
+                for &x in &queue {
+                    seen[x.index()] = false;
+                }
+            }
+        }
+        // ranks were appended in ascending hop order, so the label
+        // lists are already sorted
+        Tol {
+            out_adj: g.vertices().map(|v| g.out_neighbors(v).to_vec()).collect(),
+            in_adj: g.vertices().map(|v| g.in_neighbors(v).to_vec()).collect(),
+            rank_of,
+            vertex_at: order.to_vec(),
+            lin,
+            lout,
+            meta,
+        }
+    }
+
+    /// Builds TOL over a general graph with the given order strategy
+    /// (not `Topological`, which needs [`build_tfl`]).
+    pub fn build(g: &DiGraph, strategy: OrderStrategy) -> Self {
+        assert!(
+            strategy != OrderStrategy::Topological,
+            "use build_tfl for the topological instantiation"
+        );
+        let order = order_ranks(g, strategy);
+        Tol::build_with_order(
+            g,
+            &order,
+            IndexMeta {
+                name: "TOL",
+                citation: "[55]",
+                framework: Framework::TwoHop,
+                completeness: Completeness::Complete,
+                input: InputClass::Dag,
+                dynamism: Dynamism::InsertDelete,
+            },
+        )
+    }
+
+    /// (Re)runs hop `r`'s restricted BFS, labeling everything visited.
+    fn restricted_bfs(&mut self, r: u32, forward: bool) {
+        let w = self.vertex_at[r as usize];
+        let mut queue = vec![w];
+        let mut seen = vec![false; self.rank_of.len()];
+        seen[w.index()] = true;
+        let mut head = 0;
+        while head < queue.len() {
+            let x = queue[head];
+            head += 1;
+            let labels =
+                if forward { &mut self.lin[x.index()] } else { &mut self.lout[x.index()] };
+            if let Err(pos) = labels.binary_search(&r) {
+                labels.insert(pos, r);
+            }
+            // interior restriction: only lower-priority vertices may be
+            // passed through (the hop itself always expands)
+            if x != w && self.rank_of[x.index()] < r {
+                continue;
+            }
+            let adj =
+                if forward { &self.out_adj[x.index()] } else { &self.in_adj[x.index()] };
+            for &y in adj {
+                if !seen[y.index()] {
+                    seen[y.index()] = true;
+                    queue.push(y);
+                }
+            }
+        }
+    }
+
+    /// Removes every label entry contributed by hop `r`.
+    fn clear_hop(&mut self, r: u32) {
+        for labels in self.lin.iter_mut().chain(self.lout.iter_mut()) {
+            if let Ok(pos) = labels.binary_search(&r) {
+                labels.remove(pos);
+            }
+        }
+    }
+
+    /// Inserts the edge `u -> v` and extends the labels of every hop
+    /// whose restricted closure can grow through it.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) {
+        if self.out_adj[u.index()].contains(&v) {
+            return;
+        }
+        self.out_adj[u.index()].push(v);
+        self.in_adj[v.index()].push(u);
+        for r in self.affected_hops(u, true) {
+            self.extend_hop(r, v, true);
+        }
+        for r in self.affected_hops(v, false) {
+            self.extend_hop(r, u, false);
+        }
+    }
+
+    /// Deletes the edge `u -> v` and recomputes the labels of every hop
+    /// whose restricted closure may have shrunk.
+    pub fn delete_edge(&mut self, u: VertexId, v: VertexId) {
+        let Some(pos) = self.out_adj[u.index()].iter().position(|&x| x == v) else {
+            return;
+        };
+        // affected hops must be identified before the edge disappears
+        let fwd = self.affected_hops(u, true);
+        let bwd = self.affected_hops(v, false);
+        self.out_adj[u.index()].remove(pos);
+        let ipos = self.in_adj[v.index()].iter().position(|&x| x == u).unwrap();
+        self.in_adj[v.index()].remove(ipos);
+        for &r in fwd.iter().chain(bwd.iter()) {
+            self.clear_hop(r);
+        }
+        for r in fwd.into_iter().chain(bwd) {
+            self.restricted_bfs(r, true);
+            self.restricted_bfs(r, false);
+        }
+    }
+
+    /// Hops `w` whose restricted (forward/backward) closure contains
+    /// `end` with `end` usable as an interior vertex — exactly the
+    /// hops whose closure an edge at `end` can affect.
+    fn affected_hops(&self, end: VertexId, forward: bool) -> Vec<u32> {
+        let labels =
+            if forward { &self.lin[end.index()] } else { &self.lout[end.index()] };
+        labels
+            .iter()
+            .copied()
+            .filter(|&r| {
+                self.vertex_at[r as usize] == end || self.rank_of[end.index()] > r
+            })
+            .collect()
+    }
+
+    /// Resumes hop `r`'s restricted BFS from `start` (after an edge
+    /// insertion, only newly-reachable vertices need labeling).
+    fn extend_hop(&mut self, r: u32, start: VertexId, forward: bool) {
+        let w = self.vertex_at[r as usize];
+        let mut queue = vec![start];
+        let mut seen = vec![false; self.rank_of.len()];
+        seen[start.index()] = true;
+        let mut head = 0;
+        while head < queue.len() {
+            let x = queue[head];
+            head += 1;
+            let labels =
+                if forward { &mut self.lin[x.index()] } else { &mut self.lout[x.index()] };
+            match labels.binary_search(&r) {
+                Ok(_) => continue, // reached the previously-labeled region
+                Err(pos) => labels.insert(pos, r),
+            }
+            if x != w && self.rank_of[x.index()] < r {
+                continue;
+            }
+            let adj =
+                if forward { &self.out_adj[x.index()] } else { &self.in_adj[x.index()] };
+            for &y in adj {
+                if !seen[y.index()] {
+                    seen[y.index()] = true;
+                    queue.push(y);
+                }
+            }
+        }
+    }
+
+    /// Assembles an index from prebuilt labels (used by the parallel
+    /// builder; the labels must be the canonical restricted closures
+    /// of `order`).
+    pub(crate) fn from_parts(
+        g: &DiGraph,
+        vertex_at: Vec<VertexId>,
+        rank_of: Vec<u32>,
+        lin: Vec<Vec<u32>>,
+        lout: Vec<Vec<u32>>,
+        meta: IndexMeta,
+    ) -> Self {
+        Tol {
+            out_adj: g.vertices().map(|v| g.out_neighbors(v).to_vec()).collect(),
+            in_adj: g.vertices().map(|v| g.in_neighbors(v).to_vec()).collect(),
+            rank_of,
+            vertex_at,
+            lin,
+            lout,
+            meta,
+        }
+    }
+
+    /// The rank (priority position) of `v` in the total order.
+    pub fn rank_of(&self, v: VertexId) -> u32 {
+        self.rank_of[v.index()]
+    }
+
+    /// The vertex holding rank `r`.
+    pub fn vertex_at(&self, r: u32) -> VertexId {
+        self.vertex_at[r as usize]
+    }
+
+    /// The in-label of `x` as hop ranks, sorted ascending.
+    pub fn lin(&self, x: VertexId) -> &[u32] {
+        &self.lin[x.index()]
+    }
+
+    /// The out-label of `x` as hop ranks, sorted ascending.
+    pub fn lout(&self, x: VertexId) -> &[u32] {
+        &self.lout[x.index()]
+    }
+}
+
+/// Sorted-slice intersection test (the 2-hop query primitive).
+pub(crate) fn sorted_intersects(a: &[u32], b: &[u32]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+impl ReachIndex for Tol {
+    fn query(&self, s: VertexId, t: VertexId) -> bool {
+        s == t || sorted_intersects(&self.lout[s.index()], &self.lin[t.index()])
+    }
+
+    fn meta(&self) -> IndexMeta {
+        self.meta
+    }
+
+    fn size_bytes(&self) -> usize {
+        4 * self.size_entries() + 48 * self.lin.len()
+    }
+
+    fn size_entries(&self) -> usize {
+        self.lin.iter().map(Vec::len).sum::<usize>()
+            + self.lout.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+/// Builds TFL \[13\]: TOL instantiated with the topological order of a DAG.
+pub fn build_tfl(dag: &Dag) -> Tol {
+    Tol::build_with_order(
+        dag.graph(),
+        dag.topo_order(),
+        IndexMeta {
+            name: "TFL",
+            citation: "[13]",
+            framework: Framework::TwoHop,
+            completeness: Completeness::Complete,
+            input: InputClass::Dag,
+            dynamism: Dynamism::Static,
+        },
+    )
+}
+
+/// Builds DL \[25\]: TOL instantiated with the degree-descending order,
+/// directly on a general graph.
+pub fn build_dl(g: &DiGraph) -> Tol {
+    let order = order_ranks(g, OrderStrategy::DegreeDescending);
+    Tol::build_with_order(
+        g,
+        &order,
+        IndexMeta {
+            name: "DL",
+            citation: "[25]",
+            framework: Framework::TwoHop,
+            completeness: Completeness::Complete,
+            input: InputClass::General,
+            dynamism: Dynamism::Static,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tc::TransitiveClosure;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use reach_graph::fixtures;
+    use reach_graph::generators::{random_dag, random_digraph};
+
+    fn check_exact(g: &DiGraph, tol: &Tol) {
+        let tc = TransitiveClosure::build(g);
+        for s in g.vertices() {
+            for t in g.vertices() {
+                assert_eq!(tol.query(s, t), tc.reaches(s, t), "at {s:?}->{t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tfl_exact_on_figure1() {
+        let dag = Dag::new(fixtures::figure1a()).unwrap();
+        let tfl = build_tfl(&dag);
+        check_exact(dag.graph(), &tfl);
+        assert!(tfl.query(fixtures::A, fixtures::G));
+    }
+
+    #[test]
+    fn dl_exact_on_cyclic_graphs() {
+        let mut rng = SmallRng::seed_from_u64(91);
+        for _ in 0..4 {
+            let g = random_digraph(50, 140, &mut rng);
+            check_exact(&g, &build_dl(&g));
+        }
+    }
+
+    #[test]
+    fn all_orders_give_exact_indexes() {
+        let mut rng = SmallRng::seed_from_u64(92);
+        let dag = random_dag(70, 180, &mut rng);
+        check_exact(dag.graph(), &build_tfl(&dag));
+        check_exact(
+            dag.graph(),
+            &Tol::build(dag.graph(), OrderStrategy::DegreeDescending),
+        );
+        check_exact(dag.graph(), &Tol::build(dag.graph(), OrderStrategy::ById));
+    }
+
+    #[test]
+    fn labels_are_sound() {
+        // w ∈ lin(x) implies w reaches x; w ∈ lout(x) implies x reaches w
+        let mut rng = SmallRng::seed_from_u64(93);
+        let g = random_digraph(40, 100, &mut rng);
+        let tol = build_dl(&g);
+        let tc = TransitiveClosure::build(&g);
+        for x in g.vertices() {
+            for &r in tol.lin(x) {
+                assert!(tc.reaches(tol.vertex_at(r), x));
+            }
+            for &r in tol.lout(x) {
+                assert!(tc.reaches(x, tol.vertex_at(r)));
+            }
+        }
+    }
+
+    #[test]
+    fn every_vertex_labels_itself() {
+        let g = fixtures::figure1a();
+        let tol = build_dl(&g);
+        for v in g.vertices() {
+            let r = tol.rank_of(v);
+            assert!(tol.lin(v).contains(&r));
+            assert!(tol.lout(v).contains(&r));
+        }
+    }
+
+    #[test]
+    fn insertions_match_rebuild() {
+        let mut rng = SmallRng::seed_from_u64(94);
+        let g = random_digraph(30, 40, &mut rng);
+        let mut tol = build_dl(&g);
+        let mut edges: Vec<(u32, u32)> = g.edges().map(|(a, b)| (a.0, b.0)).collect();
+        for _ in 0..25 {
+            let u = rng.random_range(0..30u32);
+            let mut v = rng.random_range(0..29u32);
+            if v >= u {
+                v += 1;
+            }
+            tol.insert_edge(VertexId(u), VertexId(v));
+            if !edges.contains(&(u, v)) {
+                edges.push((u, v));
+            }
+            let g2 = DiGraph::from_edges(30, &edges);
+            check_exact(&g2, &tol);
+        }
+    }
+
+    #[test]
+    fn deletions_match_rebuild() {
+        let mut rng = SmallRng::seed_from_u64(95);
+        let g = random_digraph(25, 90, &mut rng);
+        let mut tol = build_dl(&g);
+        let mut edges: Vec<(u32, u32)> = g.edges().map(|(a, b)| (a.0, b.0)).collect();
+        for _ in 0..30 {
+            if edges.is_empty() {
+                break;
+            }
+            let i = rng.random_range(0..edges.len());
+            let (u, v) = edges.swap_remove(i);
+            tol.delete_edge(VertexId(u), VertexId(v));
+            let g2 = DiGraph::from_edges(25, &edges);
+            check_exact(&g2, &tol);
+        }
+    }
+
+    #[test]
+    fn mixed_update_workload_matches_rebuild() {
+        let mut rng = SmallRng::seed_from_u64(96);
+        let g = random_digraph(20, 40, &mut rng);
+        let mut tol = Tol::build(&g, OrderStrategy::ById);
+        let mut edges: Vec<(u32, u32)> = g.edges().map(|(a, b)| (a.0, b.0)).collect();
+        for _ in 0..40 {
+            if rng.random_bool(0.5) || edges.is_empty() {
+                let u = rng.random_range(0..20u32);
+                let mut v = rng.random_range(0..19u32);
+                if v >= u {
+                    v += 1;
+                }
+                if !edges.contains(&(u, v)) {
+                    tol.insert_edge(VertexId(u), VertexId(v));
+                    edges.push((u, v));
+                }
+            } else {
+                let i = rng.random_range(0..edges.len());
+                let (u, v) = edges.swap_remove(i);
+                tol.delete_edge(VertexId(u), VertexId(v));
+            }
+            let g2 = DiGraph::from_edges(20, &edges);
+            check_exact(&g2, &tol);
+        }
+    }
+
+    #[test]
+    fn duplicate_insert_and_missing_delete_are_noops() {
+        let g = fixtures::figure1a();
+        let mut tol = build_dl(&g);
+        let before = tol.size_entries();
+        tol.insert_edge(fixtures::A, fixtures::D); // already present
+        assert_eq!(tol.size_entries(), before);
+        tol.delete_edge(fixtures::B, fixtures::A); // never existed
+        check_exact(&g, &tol);
+    }
+
+    #[test]
+    fn sorted_intersection_unit() {
+        assert!(sorted_intersects(&[1, 3, 5], &[5, 9]));
+        assert!(!sorted_intersects(&[1, 3, 5], &[0, 2, 4]));
+        assert!(!sorted_intersects(&[], &[1]));
+        assert!(sorted_intersects(&[7], &[7]));
+    }
+
+    #[test]
+    fn insert_into_empty_graph() {
+        let g = DiGraph::from_edges(5, &[]);
+        let mut tol = Tol::build(&g, OrderStrategy::ById);
+        tol.insert_edge(VertexId(0), VertexId(1));
+        tol.insert_edge(VertexId(1), VertexId(2));
+        assert!(tol.query(VertexId(0), VertexId(2)));
+        assert!(!tol.query(VertexId(2), VertexId(0)));
+    }
+}

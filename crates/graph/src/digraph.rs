@@ -1,0 +1,387 @@
+//! Frozen CSR digraphs and the checked [`Dag`] wrapper.
+
+use crate::error::GraphError;
+use crate::topo;
+use crate::vertex::VertexId;
+use std::ops::Deref;
+
+/// Mutable builder for [`DiGraph`].
+///
+/// Collects edges in insertion order, then [`build`](Self::build)
+/// freezes them into CSR form. Duplicate edges are deduplicated and
+/// self-loops are kept (they matter for SCC condensation of general
+/// graphs but are rejected by [`Dag::new`]).
+#[derive(Debug, Clone, Default)]
+pub struct DiGraphBuilder {
+    num_vertices: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl DiGraphBuilder {
+    /// Creates a builder for a graph with `n` vertices `0..n`.
+    pub fn new(n: usize) -> Self {
+        DiGraphBuilder { num_vertices: n, edges: Vec::new() }
+    }
+
+    /// Creates a builder with a capacity hint for the edge list.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        DiGraphBuilder { num_vertices: n, edges: Vec::with_capacity(m) }
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Adds a fresh vertex and returns its id.
+    pub fn add_vertex(&mut self) -> VertexId {
+        let v = VertexId::new(self.num_vertices);
+        self.num_vertices += 1;
+        v
+    }
+
+    /// Adds the directed edge `u -> v`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of bounds; use
+    /// [`try_add_edge`](Self::try_add_edge) for fallible insertion.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        self.try_add_edge(u, v).expect("edge endpoint out of bounds");
+    }
+
+    /// Adds the directed edge `u -> v`, checking bounds.
+    pub fn try_add_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
+        for w in [u, v] {
+            if w.index() >= self.num_vertices {
+                return Err(GraphError::VertexOutOfBounds {
+                    vertex: w.0,
+                    num_vertices: self.num_vertices,
+                });
+            }
+        }
+        self.edges.push((u.0, v.0));
+        Ok(())
+    }
+
+    /// Freezes the builder into a CSR [`DiGraph`].
+    pub fn build(mut self) -> DiGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        DiGraph::from_sorted_edges(self.num_vertices, &self.edges)
+    }
+}
+
+/// An immutable directed graph in compressed-sparse-row form.
+///
+/// Stores both forward (`out`) and reverse (`in`) adjacency, each as an
+/// offset array plus a flat neighbor array, so the per-vertex neighbor
+/// lists are contiguous slices with no pointer chasing. Neighbor lists
+/// are sorted by vertex id.
+///
+/// ```
+/// use reach_graph::{DiGraph, VertexId};
+///
+/// let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+/// assert_eq!(g.out_neighbors(VertexId(0)), &[VertexId(1), VertexId(2)]);
+/// assert_eq!(g.in_degree(VertexId(2)), 2);
+/// assert!(g.has_edge(VertexId(0), VertexId(2)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiGraph {
+    out_offsets: Vec<u32>,
+    out_targets: Vec<VertexId>,
+    in_offsets: Vec<u32>,
+    in_sources: Vec<VertexId>,
+}
+
+impl DiGraph {
+    /// Builds a graph from an explicit edge list (convenience for
+    /// tests and examples).
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut b = DiGraphBuilder::with_capacity(n, edges.len());
+        for &(u, v) in edges {
+            b.add_edge(VertexId(u), VertexId(v));
+        }
+        b.build()
+    }
+
+    fn from_sorted_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let m = edges.len();
+        let mut out_offsets = vec![0u32; n + 1];
+        let mut in_offsets = vec![0u32; n + 1];
+        for &(u, v) in edges {
+            out_offsets[u as usize + 1] += 1;
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut out_targets = vec![VertexId(0); m];
+        let mut in_sources = vec![VertexId(0); m];
+        let mut out_cursor = out_offsets.clone();
+        let mut in_cursor = in_offsets.clone();
+        // `edges` is sorted by (u, v), so out-lists come out sorted; the
+        // in-lists come out sorted too because sources are scanned in
+        // ascending order.
+        for &(u, v) in edges {
+            let o = &mut out_cursor[u as usize];
+            out_targets[*o as usize] = VertexId(v);
+            *o += 1;
+            let i = &mut in_cursor[v as usize];
+            in_sources[*i as usize] = VertexId(u);
+            *i += 1;
+        }
+        DiGraph { out_offsets, out_targets, in_offsets, in_sources }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of (deduplicated) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.num_vertices() as u32).map(VertexId)
+    }
+
+    /// Iterator over all edges as `(source, target)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices()
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Out-neighbors of `v`, sorted by id.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.out_offsets[v.index()] as usize;
+        let hi = self.out_offsets[v.index() + 1] as usize;
+        &self.out_targets[lo..hi]
+    }
+
+    /// In-neighbors of `v`, sorted by id.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.in_offsets[v.index()] as usize;
+        let hi = self.in_offsets[v.index() + 1] as usize;
+        &self.in_sources[lo..hi]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out_neighbors(v).len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// Total degree (in + out) of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// Whether the edge `u -> v` exists (binary search on the sorted
+    /// out-list).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// The graph with every edge reversed. Indexes that label "who
+    /// reaches v" run on the reverse graph.
+    pub fn reverse(&self) -> DiGraph {
+        DiGraph {
+            out_offsets: self.in_offsets.clone(),
+            out_targets: self.in_sources.clone(),
+            in_offsets: self.out_offsets.clone(),
+            in_sources: self.out_targets.clone(),
+        }
+    }
+
+    /// Approximate heap footprint in bytes, used by index-size
+    /// reporting in the bench harness.
+    pub fn size_bytes(&self) -> usize {
+        4 * (self.out_offsets.len()
+            + self.out_targets.len()
+            + self.in_offsets.len()
+            + self.in_sources.len())
+    }
+}
+
+/// A [`DiGraph`] verified to be acyclic, carrying its topological order.
+///
+/// Most plain reachability indexes in the survey's Table 1 assume DAG
+/// input; this wrapper makes that precondition explicit and un-forgeable.
+/// General graphs are handled by condensing SCCs first
+/// (see [`crate::condense`]), exactly as §3.1 of the survey describes.
+#[derive(Debug, Clone)]
+pub struct Dag {
+    graph: DiGraph,
+    topo_order: Vec<VertexId>,
+    /// position of each vertex in `topo_order`
+    topo_rank: Vec<u32>,
+}
+
+impl Dag {
+    /// Checks acyclicity and wraps the graph.
+    pub fn new(graph: DiGraph) -> Result<Self, GraphError> {
+        match topo::topological_sort(&graph) {
+            Some(order) => {
+                let mut rank = vec![0u32; graph.num_vertices()];
+                for (i, &v) in order.iter().enumerate() {
+                    rank[v.index()] = i as u32;
+                }
+                Ok(Dag { graph, topo_order: order, topo_rank: rank })
+            }
+            None => Err(GraphError::NotAcyclic),
+        }
+    }
+
+    /// Wraps a graph already known to be acyclic together with a valid
+    /// topological order. Used by the condensation code, which produces
+    /// both at once.
+    ///
+    /// # Panics
+    /// Debug-asserts that `order` is a topological order of `graph`.
+    pub fn from_parts(graph: DiGraph, order: Vec<VertexId>) -> Self {
+        debug_assert!(topo::is_topological_order(&graph, &order));
+        let mut rank = vec![0u32; graph.num_vertices()];
+        for (i, &v) in order.iter().enumerate() {
+            rank[v.index()] = i as u32;
+        }
+        Dag { graph, topo_order: order, topo_rank: rank }
+    }
+
+    /// The vertices in topological order (sources first).
+    #[inline]
+    pub fn topo_order(&self) -> &[VertexId] {
+        &self.topo_order
+    }
+
+    /// The position of `v` in the topological order.
+    #[inline]
+    pub fn topo_rank(&self, v: VertexId) -> u32 {
+        self.topo_rank[v.index()]
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Consumes the wrapper, returning the underlying graph.
+    pub fn into_graph(self) -> DiGraph {
+        self.graph
+    }
+}
+
+impl Deref for Dag {
+    type Target = DiGraph;
+
+    fn deref(&self) -> &DiGraph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn csr_adjacency() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_neighbors(VertexId(0)), &[VertexId(1), VertexId(2)]);
+        assert_eq!(g.in_neighbors(VertexId(3)), &[VertexId(1), VertexId(2)]);
+        assert_eq!(g.out_degree(VertexId(0)), 2);
+        assert_eq!(g.in_degree(VertexId(0)), 0);
+        assert_eq!(g.degree(VertexId(1)), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let g = DiGraph::from_edges(2, &[(0, 1), (0, 1), (0, 1)]);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn has_edge_checks_membership() {
+        let g = diamond();
+        assert!(g.has_edge(VertexId(0), VertexId(1)));
+        assert!(!g.has_edge(VertexId(1), VertexId(0)));
+        assert!(!g.has_edge(VertexId(0), VertexId(3)));
+    }
+
+    #[test]
+    fn reverse_swaps_directions() {
+        let g = diamond().reverse();
+        assert_eq!(g.out_neighbors(VertexId(3)), &[VertexId(1), VertexId(2)]);
+        assert_eq!(g.in_neighbors(VertexId(1)), &[VertexId(3)]);
+    }
+
+    #[test]
+    fn edges_iterator_lists_all() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().map(|(u, v)| (u.0, v.0)).collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn builder_add_vertex_grows() {
+        let mut b = DiGraphBuilder::new(0);
+        let a = b.add_vertex();
+        let c = b.add_vertex();
+        b.add_edge(a, c);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 2);
+        assert!(g.has_edge(a, c));
+    }
+
+    #[test]
+    fn builder_rejects_out_of_bounds() {
+        let mut b = DiGraphBuilder::new(1);
+        let err = b.try_add_edge(VertexId(0), VertexId(5)).unwrap_err();
+        assert_eq!(err, GraphError::VertexOutOfBounds { vertex: 5, num_vertices: 1 });
+    }
+
+    #[test]
+    fn dag_accepts_acyclic_rejects_cyclic() {
+        assert!(Dag::new(diamond()).is_ok());
+        let cyclic = DiGraph::from_edges(2, &[(0, 1), (1, 0)]);
+        assert_eq!(Dag::new(cyclic).unwrap_err(), GraphError::NotAcyclic);
+    }
+
+    #[test]
+    fn dag_topo_rank_respects_edges() {
+        let dag = Dag::new(diamond()).unwrap();
+        for (u, v) in dag.graph().edges() {
+            assert!(dag.topo_rank(u) < dag.topo_rank(v));
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::from_edges(0, &[]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(Dag::new(g).is_ok());
+    }
+}

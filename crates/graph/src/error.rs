@@ -1,0 +1,67 @@
+//! Error type shared by the graph substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or parsing graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint referenced a vertex id outside `0..n`.
+    VertexOutOfBounds {
+        /// The offending vertex id.
+        vertex: u32,
+        /// The number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// A DAG was required but the graph contains a directed cycle.
+    NotAcyclic,
+    /// An edge label was outside the supported alphabet (`0..64`).
+    LabelOutOfRange {
+        /// The offending label value.
+        label: u32,
+    },
+    /// A textual edge list could not be parsed.
+    Parse {
+        /// 1-based line number of the malformed line.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfBounds { vertex, num_vertices } => write!(
+                f,
+                "vertex id {vertex} out of bounds for graph with {num_vertices} vertices"
+            ),
+            GraphError::NotAcyclic => {
+                write!(f, "graph contains a directed cycle but a DAG was required")
+            }
+            GraphError::LabelOutOfRange { label } => {
+                write!(f, "edge label {label} outside supported alphabet 0..64")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::VertexOutOfBounds { vertex: 9, num_vertices: 3 };
+        assert!(e.to_string().contains("vertex id 9"));
+        assert!(GraphError::NotAcyclic.to_string().contains("cycle"));
+        let e = GraphError::LabelOutOfRange { label: 99 };
+        assert!(e.to_string().contains("99"));
+        let e = GraphError::Parse { line: 2, message: "bad".into() };
+        assert!(e.to_string().contains("line 2"));
+    }
+}

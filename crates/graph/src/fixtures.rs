@@ -1,0 +1,160 @@
+//! The worked-example graphs of the survey's Figure 1.
+//!
+//! The paper draws a 9-vertex graph twice: Figure 1(a) plain and
+//! Figure 1(b) with labels `friendOf`, `follows`, `worksFor`. The text
+//! pins down 12 of the 13 labeled edges through its worked examples
+//! (the paths p1–p4, the SPLS claims for L→M, A→L, A→M, the MR example
+//! path L→B, and the `Qr(A,G)` path (A,D,H,G)); the label multiset in
+//! the figure (3× friendOf, 3× follows, 7× worksFor) fixes the counts.
+//! The one remaining `follows` edge is placed as `M → B`, which is
+//! consistent with every claim in the text. `tests/figure1.rs` at the
+//! workspace root re-verifies each claim against these fixtures.
+
+use crate::digraph::DiGraph;
+use crate::labeled::{Label, LabeledGraph};
+use crate::vertex::VertexId;
+
+/// Vertex `A` of Figure 1.
+pub const A: VertexId = VertexId(0);
+/// Vertex `B` of Figure 1.
+pub const B: VertexId = VertexId(1);
+/// Vertex `C` of Figure 1.
+pub const C: VertexId = VertexId(2);
+/// Vertex `D` of Figure 1.
+pub const D: VertexId = VertexId(3);
+/// Vertex `G` of Figure 1.
+pub const G: VertexId = VertexId(4);
+/// Vertex `H` of Figure 1.
+pub const H: VertexId = VertexId(5);
+/// Vertex `K` of Figure 1.
+pub const K: VertexId = VertexId(6);
+/// Vertex `L` of Figure 1.
+pub const L: VertexId = VertexId(7);
+/// Vertex `M` of Figure 1.
+pub const M: VertexId = VertexId(8);
+
+/// The `friendOf` label of Figure 1(b).
+pub const FRIEND_OF: Label = Label(0);
+/// The `follows` label of Figure 1(b).
+pub const FOLLOWS: Label = Label(1);
+/// The `worksFor` label of Figure 1(b).
+pub const WORKS_FOR: Label = Label(2);
+
+/// Number of vertices in the Figure 1 graphs.
+pub const NUM_VERTICES: usize = 9;
+/// Alphabet size of Figure 1(b).
+pub const NUM_LABELS: usize = 3;
+
+const EDGES: [(VertexId, Label, VertexId); 13] = [
+    (A, FRIEND_OF, D),
+    (A, FOLLOWS, L),
+    (L, WORKS_FOR, C),
+    (L, WORKS_FOR, D),
+    (L, FOLLOWS, K),
+    (C, WORKS_FOR, M),
+    (C, WORKS_FOR, H),
+    (K, WORKS_FOR, M),
+    (K, WORKS_FOR, H),
+    (D, FRIEND_OF, H),
+    (H, WORKS_FOR, G),
+    (G, FRIEND_OF, B),
+    (M, FOLLOWS, B),
+];
+
+/// The plain graph of Figure 1(a).
+pub fn figure1a() -> DiGraph {
+    let edges: Vec<(u32, u32)> = EDGES.iter().map(|&(u, _, v)| (u.0, v.0)).collect();
+    DiGraph::from_edges(NUM_VERTICES, &edges)
+}
+
+/// The edge-labeled graph of Figure 1(b).
+pub fn figure1b() -> LabeledGraph {
+    let edges: Vec<(u32, u8, u32)> =
+        EDGES.iter().map(|&(u, l, v)| (u.0, l.0, v.0)).collect();
+    LabeledGraph::from_edges(NUM_VERTICES, NUM_LABELS, &edges)
+}
+
+/// The display name of a Figure 1 vertex (`"A"`, `"B"`, ...).
+pub fn vertex_name(v: VertexId) -> &'static str {
+    match v {
+        A => "A",
+        B => "B",
+        C => "C",
+        D => "D",
+        G => "G",
+        H => "H",
+        K => "K",
+        L => "L",
+        M => "M",
+        _ => "?",
+    }
+}
+
+/// The display name of a Figure 1(b) label.
+pub fn label_name(l: Label) -> &'static str {
+    match l {
+        FRIEND_OF => "friendOf",
+        FOLLOWS => "follows",
+        WORKS_FOR => "worksFor",
+        _ => "?",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::Dag;
+    use crate::traverse::{bfs_reaches, VisitMap};
+
+    #[test]
+    fn figure1a_matches_figure1b_topology() {
+        let a = figure1a();
+        let b = figure1b().to_digraph();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn label_multiset_matches_the_figure() {
+        let g = figure1b();
+        let mut counts = [0usize; 3];
+        for (_, l, _) in g.edges() {
+            counts[l.index()] += 1;
+        }
+        assert_eq!(counts, [3, 3, 7], "friendOf×3, follows×3, worksFor×7");
+    }
+
+    #[test]
+    fn figure1_is_acyclic() {
+        assert!(Dag::new(figure1a()).is_ok());
+    }
+
+    #[test]
+    fn qr_a_g_is_true_via_a_d_h_g() {
+        let g = figure1a();
+        // the witness path the paper names: (A, D, H, G)
+        assert!(g.has_edge(A, D));
+        assert!(g.has_edge(D, H));
+        assert!(g.has_edge(H, G));
+        let mut vm = VisitMap::new(g.num_vertices());
+        assert!(bfs_reaches(&g, A, G, &mut vm));
+    }
+
+    #[test]
+    fn every_a_to_g_path_uses_works_for() {
+        // Qr(A, G, (friendOf ∪ follows)*) = false: dropping worksFor
+        // edges must disconnect A from G.
+        let g = figure1b();
+        let restricted = g.project(crate::LabelSet::from_labels([FRIEND_OF, FOLLOWS]));
+        let mut vm = VisitMap::new(restricted.num_vertices());
+        assert!(!bfs_reaches(&restricted, A, G, &mut vm));
+    }
+
+    #[test]
+    fn names_round_trip() {
+        assert_eq!(vertex_name(A), "A");
+        assert_eq!(vertex_name(M), "M");
+        assert_eq!(vertex_name(VertexId(99)), "?");
+        assert_eq!(label_name(WORKS_FOR), "worksFor");
+        assert_eq!(label_name(Label(9)), "?");
+    }
+}

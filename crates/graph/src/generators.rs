@@ -1,0 +1,272 @@
+//! Synthetic workload generators.
+//!
+//! The survey's comparisons span graph shapes with very different index
+//! behaviour: shallow-and-wide DAGs (tree-cover indexes shine), deep
+//! layered DAGs (level filters shine), hub-heavy power-law graphs
+//! (2-hop/landmark orders shine), and cyclic general graphs (exercise
+//! the condensation path). These generators produce each shape
+//! deterministically from a caller-supplied RNG, standing in for the
+//! real-world datasets of the cited systems (see DESIGN.md §2).
+
+use crate::digraph::{Dag, DiGraph, DiGraphBuilder};
+use crate::labeled::{Label, LabeledGraph, LabeledGraphBuilder};
+use rand::Rng;
+
+/// A uniform random DAG with `n` vertices and (up to) `m` edges: edges
+/// are sampled uniformly over pairs `(u, v)` with `u < v`, so vertex id
+/// order is a topological order. Duplicate samples are deduplicated,
+/// so the realized edge count can be slightly below `m`.
+pub fn random_dag<R: Rng>(n: usize, m: usize, rng: &mut R) -> Dag {
+    assert!(n >= 2, "need at least two vertices");
+    let mut b = DiGraphBuilder::with_capacity(n, m);
+    for _ in 0..m {
+        let u = rng.random_range(0..n as u32 - 1);
+        let v = rng.random_range(u + 1..n as u32);
+        b.add_edge(u.into(), v.into());
+    }
+    Dag::new(b.build()).expect("construction is acyclic by id order")
+}
+
+/// A layered DAG: `layers` layers of `width` vertices; each vertex gets
+/// edges to `fan_out` random vertices in the next layer. This is the
+/// deep, narrow shape where topological-level filters prune best.
+pub fn layered_dag<R: Rng>(
+    layers: usize,
+    width: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Dag {
+    assert!(layers >= 1 && width >= 1);
+    let n = layers * width;
+    let mut b = DiGraphBuilder::with_capacity(n, n * fan_out);
+    for layer in 0..layers - 1 {
+        for i in 0..width {
+            let u = (layer * width + i) as u32;
+            for _ in 0..fan_out {
+                let v = ((layer + 1) * width + rng.random_range(0..width)) as u32;
+                b.add_edge(u.into(), v.into());
+            }
+        }
+    }
+    Dag::new(b.build()).expect("layered construction is acyclic")
+}
+
+/// A preferential-attachment DAG: vertex `v` links to `edges_per_vertex`
+/// predecessors chosen with probability proportional to their current
+/// degree (plus one). Produces the hub-dominated, power-law-ish degree
+/// distribution of citation and social graphs, where degree-ordered
+/// 2-hop labelings (DL/PLL/TOL) prune dramatically.
+pub fn power_law_dag<R: Rng>(n: usize, edges_per_vertex: usize, rng: &mut R) -> Dag {
+    assert!(n >= 2);
+    let mut b = DiGraphBuilder::with_capacity(n, n * edges_per_vertex);
+    // repeated-vertex urn: hubs appear many times
+    let mut urn: Vec<u32> = vec![0];
+    for v in 1..n as u32 {
+        for _ in 0..edges_per_vertex.min(v as usize) {
+            let u = urn[rng.random_range(0..urn.len())];
+            // edge from older to newer keeps the graph acyclic
+            b.add_edge(u.into(), v.into());
+            urn.push(u);
+        }
+        urn.push(v);
+    }
+    Dag::new(b.build()).expect("attachment construction is acyclic")
+}
+
+/// A random tree on `n` vertices (each vertex's parent is a uniformly
+/// random earlier vertex) plus `extra_edges` additional random forward
+/// edges — the "spanning tree + few non-tree edges" regime where
+/// tree-cover indexes (dual labeling, GRIPP) were designed to excel.
+pub fn random_tree_plus_edges<R: Rng>(n: usize, extra_edges: usize, rng: &mut R) -> Dag {
+    assert!(n >= 2);
+    let mut b = DiGraphBuilder::with_capacity(n, n - 1 + extra_edges);
+    for v in 1..n as u32 {
+        let parent = rng.random_range(0..v);
+        b.add_edge(parent.into(), v.into());
+    }
+    for _ in 0..extra_edges {
+        let u = rng.random_range(0..n as u32 - 1);
+        let v = rng.random_range(u + 1..n as u32);
+        b.add_edge(u.into(), v.into());
+    }
+    Dag::new(b.build()).expect("forward edges keep the graph acyclic")
+}
+
+/// A general (possibly cyclic) Erdős–Rényi style digraph `G(n, m)`:
+/// `m` edges sampled uniformly over all ordered pairs, self-loops
+/// excluded. Exercises the SCC-condensation path of every DAG-only index.
+pub fn random_digraph<R: Rng>(n: usize, m: usize, rng: &mut R) -> DiGraph {
+    assert!(n >= 2);
+    let mut b = DiGraphBuilder::with_capacity(n, m);
+    for _ in 0..m {
+        let u = rng.random_range(0..n as u32);
+        let mut v = rng.random_range(0..n as u32 - 1);
+        if v >= u {
+            v += 1;
+        }
+        b.add_edge(u.into(), v.into());
+    }
+    b.build()
+}
+
+/// Weights for assigning labels to generated edges.
+///
+/// Real edge-labeled graphs are skewed (a few relationship types
+/// dominate); `zipf` reproduces that, `uniform` is the control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelDistribution {
+    /// Every label equally likely.
+    Uniform,
+    /// Label `i` has weight `1 / (i + 1)` (Zipf with exponent 1).
+    Zipf,
+}
+
+fn sample_label<R: Rng>(k: usize, dist: LabelDistribution, rng: &mut R) -> Label {
+    match dist {
+        LabelDistribution::Uniform => Label(rng.random_range(0..k as u8)),
+        LabelDistribution::Zipf => {
+            let total: f64 = (1..=k).map(|i| 1.0 / i as f64).sum();
+            let mut x = rng.random_range(0.0..total);
+            for i in 0..k {
+                x -= 1.0 / (i + 1) as f64;
+                if x <= 0.0 {
+                    return Label(i as u8);
+                }
+            }
+            Label(k as u8 - 1)
+        }
+    }
+}
+
+/// Assigns labels from a `k`-letter alphabet to every edge of `g`.
+pub fn label_edges<R: Rng>(
+    g: &DiGraph,
+    k: usize,
+    dist: LabelDistribution,
+    rng: &mut R,
+) -> LabeledGraph {
+    let mut b = LabeledGraphBuilder::new(g.num_vertices(), k);
+    for (u, v) in g.edges() {
+        b.add_edge(u, sample_label(k, dist, rng), v);
+    }
+    b.build()
+}
+
+/// A labeled uniform random digraph: [`random_digraph`] + [`label_edges`].
+pub fn random_labeled_digraph<R: Rng>(
+    n: usize,
+    m: usize,
+    k: usize,
+    dist: LabelDistribution,
+    rng: &mut R,
+) -> LabeledGraph {
+    let g = random_digraph(n, m, rng);
+    label_edges(&g, k, dist, rng)
+}
+
+/// A labeled random DAG: [`random_dag`] + [`label_edges`].
+pub fn random_labeled_dag<R: Rng>(
+    n: usize,
+    m: usize,
+    k: usize,
+    dist: LabelDistribution,
+    rng: &mut R,
+) -> LabeledGraph {
+    let g = random_dag(n, m, rng);
+    label_edges(g.graph(), k, dist, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn random_dag_is_acyclic_and_sized() {
+        let dag = random_dag(100, 300, &mut rng());
+        assert_eq!(dag.num_vertices(), 100);
+        assert!(dag.num_edges() <= 300);
+        assert!(dag.num_edges() > 250, "dedup should lose only a few edges");
+    }
+
+    #[test]
+    fn layered_dag_shape() {
+        let dag = layered_dag(5, 10, 2, &mut rng());
+        assert_eq!(dag.num_vertices(), 50);
+        // last layer has no out-edges
+        for i in 40..50 {
+            assert_eq!(dag.out_degree(crate::VertexId(i)), 0);
+        }
+    }
+
+    #[test]
+    fn power_law_dag_has_hubs() {
+        let dag = power_law_dag(500, 3, &mut rng());
+        let max_deg = dag.vertices().map(|v| dag.degree(v)).max().unwrap();
+        let avg = 2.0 * dag.num_edges() as f64 / dag.num_vertices() as f64;
+        assert!(
+            max_deg as f64 > 4.0 * avg,
+            "expected hub structure: max {max_deg} vs avg {avg}"
+        );
+    }
+
+    #[test]
+    fn tree_plus_edges_counts() {
+        let dag = random_tree_plus_edges(50, 10, &mut rng());
+        assert!(dag.num_edges() >= 49);
+        assert!(dag.num_edges() <= 59);
+    }
+
+    #[test]
+    fn random_digraph_no_self_loops() {
+        let g = random_digraph(30, 200, &mut rng());
+        for (u, v) in g.edges() {
+            assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let a = random_dag(50, 120, &mut SmallRng::seed_from_u64(7));
+        let b = random_dag(50, 120, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(a.graph(), b.graph());
+    }
+
+    #[test]
+    fn zipf_labels_are_skewed() {
+        let g = random_digraph(200, 2000, &mut rng());
+        let lg = label_edges(&g, 8, LabelDistribution::Zipf, &mut rng());
+        let mut counts = [0usize; 8];
+        for (_, l, _) in lg.edges() {
+            counts[l.index()] += 1;
+        }
+        assert!(counts[0] > 2 * counts[7], "label 0 should dominate: {counts:?}");
+    }
+
+    #[test]
+    fn uniform_labels_cover_alphabet() {
+        let lg = random_labeled_digraph(
+            100,
+            800,
+            4,
+            LabelDistribution::Uniform,
+            &mut rng(),
+        );
+        let mut seen = [false; 4];
+        for (_, l, _) in lg.edges() {
+            seen[l.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn labeled_dag_is_acyclic() {
+        let lg = random_labeled_dag(60, 150, 4, LabelDistribution::Uniform, &mut rng());
+        assert!(Dag::new(lg.to_digraph()).is_ok());
+    }
+}

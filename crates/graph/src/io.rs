@@ -1,0 +1,150 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format (one record per line, `#` comments allowed):
+//!
+//! ```text
+//! # plain:   <num_vertices>    then   <u> <v>
+//! # labeled: <num_vertices> <num_labels>   then   <u> <label> <v>
+//! ```
+//!
+//! This is the interchange format used by most published reachability
+//! index implementations, which makes it easy to feed real datasets to
+//! the bench harness.
+
+use crate::digraph::{DiGraph, DiGraphBuilder};
+use crate::error::GraphError;
+use crate::labeled::{Label, LabeledGraph, LabeledGraphBuilder};
+use crate::vertex::VertexId;
+use std::fmt::Write as _;
+
+fn parse_err(line: usize, message: impl Into<String>) -> GraphError {
+    GraphError::Parse { line, message: message.into() }
+}
+
+fn significant_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+}
+
+fn parse_u32(tok: &str, line: usize, what: &str) -> Result<u32, GraphError> {
+    tok.parse::<u32>().map_err(|_| parse_err(line, format!("invalid {what}: {tok:?}")))
+}
+
+/// Serializes a plain digraph to the edge-list format.
+pub fn write_digraph(g: &DiGraph) -> String {
+    let mut out = String::with_capacity(16 + 12 * g.num_edges());
+    let _ = writeln!(out, "{}", g.num_vertices());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "{} {}", u.0, v.0);
+    }
+    out
+}
+
+/// Parses a plain digraph from the edge-list format.
+pub fn read_digraph(text: &str) -> Result<DiGraph, GraphError> {
+    let mut lines = significant_lines(text);
+    let (lno, header) =
+        lines.next().ok_or_else(|| parse_err(0, "missing header line"))?;
+    let n = parse_u32(header, lno, "vertex count")? as usize;
+    let mut b = DiGraphBuilder::new(n);
+    for (lno, line) in lines {
+        let mut toks = line.split_whitespace();
+        let u = parse_u32(toks.next().ok_or_else(|| parse_err(lno, "missing source"))?, lno, "source")?;
+        let v = parse_u32(toks.next().ok_or_else(|| parse_err(lno, "missing target"))?, lno, "target")?;
+        if toks.next().is_some() {
+            return Err(parse_err(lno, "trailing tokens on edge line"));
+        }
+        b.try_add_edge(VertexId(u), VertexId(v))
+            .map_err(|e| parse_err(lno, e.to_string()))?;
+    }
+    Ok(b.build())
+}
+
+/// Serializes a labeled digraph to the edge-list format.
+pub fn write_labeled(g: &LabeledGraph) -> String {
+    let mut out = String::with_capacity(16 + 14 * g.num_edges());
+    let _ = writeln!(out, "{} {}", g.num_vertices(), g.num_labels());
+    for (u, l, v) in g.edges() {
+        let _ = writeln!(out, "{} {} {}", u.0, l.0, v.0);
+    }
+    out
+}
+
+/// Parses a labeled digraph from the edge-list format.
+pub fn read_labeled(text: &str) -> Result<LabeledGraph, GraphError> {
+    let mut lines = significant_lines(text);
+    let (lno, header) =
+        lines.next().ok_or_else(|| parse_err(0, "missing header line"))?;
+    let mut toks = header.split_whitespace();
+    let n = parse_u32(toks.next().ok_or_else(|| parse_err(lno, "missing vertex count"))?, lno, "vertex count")? as usize;
+    let k = parse_u32(toks.next().ok_or_else(|| parse_err(lno, "missing label count"))?, lno, "label count")? as usize;
+    if k > crate::labeled::MAX_LABELS {
+        return Err(parse_err(lno, format!("label alphabet {k} exceeds 64")));
+    }
+    let mut b = LabeledGraphBuilder::new(n, k);
+    for (lno, line) in lines {
+        let mut toks = line.split_whitespace();
+        let u = parse_u32(toks.next().ok_or_else(|| parse_err(lno, "missing source"))?, lno, "source")?;
+        let l = parse_u32(toks.next().ok_or_else(|| parse_err(lno, "missing label"))?, lno, "label")?;
+        let v = parse_u32(toks.next().ok_or_else(|| parse_err(lno, "missing target"))?, lno, "target")?;
+        if toks.next().is_some() {
+            return Err(parse_err(lno, "trailing tokens on edge line"));
+        }
+        let l = Label::try_new(l).map_err(|e| parse_err(lno, e.to_string()))?;
+        b.try_add_edge(VertexId(u), l, VertexId(v))
+            .map_err(|e| parse_err(lno, e.to_string()))?;
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn plain_round_trip() {
+        let g = fixtures::figure1a();
+        let text = write_digraph(&g);
+        let back = read_digraph(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn labeled_round_trip() {
+        let g = fixtures::figure1b();
+        let text = write_labeled(&g);
+        let back = read_labeled(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let g = read_digraph("# a comment\n\n3\n0 1\n# another\n1 2\n").unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(read_digraph("").is_err());
+        assert!(read_digraph("x").is_err());
+        assert!(read_digraph("2\n0").is_err());
+        assert!(read_digraph("2\n0 1 9").is_err());
+        assert!(read_digraph("2\n0 7").is_err(), "out-of-bounds target");
+        assert!(read_labeled("2\n0 0 1").is_err(), "missing label count");
+        assert!(read_labeled("2 2\n0 9 1").is_err(), "label out of alphabet");
+        assert!(read_labeled("2 100\n").is_err(), "alphabet too large");
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let err = read_digraph("3\n0 1\nbogus line\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Workload statistics for bench-harness reporting.
+
+use crate::digraph::DiGraph;
+use crate::scc::tarjan_scc;
+use crate::topo::topological_levels;
+
+/// Structural statistics of a digraph, printed alongside every
+/// experiment so the reproduced "shape" claims can be interpreted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of edges.
+    pub num_edges: usize,
+    /// Average degree `m / n`.
+    pub avg_degree: f64,
+    /// Maximum total degree of any vertex.
+    pub max_degree: usize,
+    /// Number of strongly connected components.
+    pub num_sccs: usize,
+    /// Size of the largest SCC.
+    pub largest_scc: usize,
+    /// Longest-path depth if acyclic, else `None`.
+    pub depth: Option<u32>,
+    /// Number of source vertices (in-degree 0).
+    pub num_sources: usize,
+    /// Number of sink vertices (out-degree 0).
+    pub num_sinks: usize,
+}
+
+/// Computes [`GraphStats`] for `g`.
+pub fn graph_stats(g: &DiGraph) -> GraphStats {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let scc = tarjan_scc(g);
+    let mut sizes = vec![0usize; scc.num_components()];
+    for v in g.vertices() {
+        sizes[scc.component_of(v) as usize] += 1;
+    }
+    GraphStats {
+        num_vertices: n,
+        num_edges: m,
+        avg_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+        max_degree: g.vertices().map(|v| g.degree(v)).max().unwrap_or(0),
+        num_sccs: scc.num_components(),
+        largest_scc: sizes.iter().copied().max().unwrap_or(0),
+        depth: topological_levels(g).map(|l| l.into_iter().max().unwrap_or(0)),
+        num_sources: g.vertices().filter(|&v| g.in_degree(v) == 0).count(),
+        num_sinks: g.vertices().filter(|&v| g.out_degree(v) == 0).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_a_chain() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let s = graph_stats(&g);
+        assert_eq!(s.num_vertices, 4);
+        assert_eq!(s.num_edges, 3);
+        assert_eq!(s.num_sccs, 4);
+        assert_eq!(s.largest_scc, 1);
+        assert_eq!(s.depth, Some(3));
+        assert_eq!(s.num_sources, 1);
+        assert_eq!(s.num_sinks, 1);
+        assert_eq!(s.max_degree, 2);
+    }
+
+    #[test]
+    fn stats_of_a_cycle() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let s = graph_stats(&g);
+        assert_eq!(s.num_sccs, 1);
+        assert_eq!(s.largest_scc, 3);
+        assert_eq!(s.depth, None);
+        assert_eq!(s.num_sources, 0);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let g = DiGraph::from_edges(0, &[]);
+        let s = graph_stats(&g);
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.max_degree, 0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Online traversal primitives: BFS, DFS, and bidirectional BFS.
+//!
+//! These are the index-free baselines of §2.3 of the survey and the
+//! fallback machinery behind every *partial* index. All traversals use
+//! an epoch-stamped [`VisitMap`] so repeated queries reuse one buffer
+//! without an `O(n)` clear per query.
+
+use crate::digraph::DiGraph;
+use crate::vertex::VertexId;
+
+/// A reusable visited-set over `0..n` vertices.
+///
+/// Marking is `O(1)` and resetting between queries is `O(1)` (bump the
+/// epoch); the backing array is only rewritten lazily as vertices are
+/// marked. The bidirectional search uses two distinct marks per epoch.
+#[derive(Debug, Clone)]
+pub struct VisitMap {
+    stamp: Vec<u64>,
+    epoch: u64,
+}
+
+/// Which search frontier marked a vertex (for bidirectional search).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The forward frontier (from the source).
+    Forward,
+    /// The backward frontier (from the target).
+    Backward,
+}
+
+impl VisitMap {
+    /// Creates a visit map for vertex ids `0..n`.
+    pub fn new(n: usize) -> Self {
+        // epoch starts at 2 so that a zeroed stamp never matches
+        // either the forward mark (epoch) or the backward mark (epoch+1)
+        VisitMap { stamp: vec![0; n], epoch: 2 }
+    }
+
+    /// Starts a fresh traversal: all vertices become unvisited.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.epoch += 2;
+    }
+
+    /// Marks `v` as visited by `side`. Returns `true` if it was not
+    /// already marked by that side.
+    #[inline]
+    pub fn mark(&mut self, v: VertexId, side: Side) -> bool {
+        let want = match side {
+            Side::Forward => self.epoch,
+            Side::Backward => self.epoch + 1,
+        };
+        let s = &mut self.stamp[v.index()];
+        if *s == want {
+            false
+        } else {
+            *s = want;
+            true
+        }
+    }
+
+    /// Whether `v` has been marked by `side` in the current traversal.
+    #[inline]
+    pub fn is_marked(&self, v: VertexId, side: Side) -> bool {
+        let want = match side {
+            Side::Forward => self.epoch,
+            Side::Backward => self.epoch + 1,
+        };
+        self.stamp[v.index()] == want
+    }
+
+    /// Number of vertices the map covers.
+    pub fn len(&self) -> usize {
+        self.stamp.len()
+    }
+
+    /// Whether the map covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.stamp.is_empty()
+    }
+}
+
+/// Statistics from a single traversal, used by the `claims` harness to
+/// reproduce the survey's "online traversal visits a large portion of
+/// the graph" observation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Vertices popped from the frontier.
+    pub visited: usize,
+    /// Edges relaxed.
+    pub edges_scanned: usize,
+}
+
+/// Breadth-first reachability: does `t` lie in the forward closure of `s`?
+pub fn bfs_reaches(g: &DiGraph, s: VertexId, t: VertexId, visit: &mut VisitMap) -> bool {
+    bfs_reaches_counted(g, s, t, visit).0
+}
+
+/// [`bfs_reaches`] with traversal statistics.
+pub fn bfs_reaches_counted(
+    g: &DiGraph,
+    s: VertexId,
+    t: VertexId,
+    visit: &mut VisitMap,
+) -> (bool, TraversalStats) {
+    let mut stats = TraversalStats::default();
+    if s == t {
+        return (true, stats);
+    }
+    visit.reset();
+    visit.mark(s, Side::Forward);
+    let mut queue = vec![s];
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        stats.visited += 1;
+        for &v in g.out_neighbors(u) {
+            stats.edges_scanned += 1;
+            if v == t {
+                return (true, stats);
+            }
+            if visit.mark(v, Side::Forward) {
+                queue.push(v);
+            }
+        }
+    }
+    (false, stats)
+}
+
+/// Depth-first reachability with an explicit stack.
+pub fn dfs_reaches(g: &DiGraph, s: VertexId, t: VertexId, visit: &mut VisitMap) -> bool {
+    if s == t {
+        return true;
+    }
+    visit.reset();
+    visit.mark(s, Side::Forward);
+    let mut stack = vec![s];
+    while let Some(u) = stack.pop() {
+        for &v in g.out_neighbors(u) {
+            if v == t {
+                return true;
+            }
+            if visit.mark(v, Side::Forward) {
+                stack.push(v);
+            }
+        }
+    }
+    false
+}
+
+/// Bidirectional BFS: expands the smaller of the forward frontier from
+/// `s` and the backward frontier from `t`, answering when they meet.
+pub fn bibfs_reaches(g: &DiGraph, s: VertexId, t: VertexId, visit: &mut VisitMap) -> bool {
+    if s == t {
+        return true;
+    }
+    visit.reset();
+    visit.mark(s, Side::Forward);
+    visit.mark(t, Side::Backward);
+    let mut fwd = vec![s];
+    let mut bwd = vec![t];
+    while !fwd.is_empty() && !bwd.is_empty() {
+        if fwd.len() <= bwd.len() {
+            let mut next = Vec::new();
+            for &u in &fwd {
+                for &v in g.out_neighbors(u) {
+                    if visit.is_marked(v, Side::Backward) {
+                        return true;
+                    }
+                    if visit.mark(v, Side::Forward) {
+                        next.push(v);
+                    }
+                }
+            }
+            fwd = next;
+        } else {
+            let mut next = Vec::new();
+            for &u in &bwd {
+                for &v in g.in_neighbors(u) {
+                    if visit.is_marked(v, Side::Forward) {
+                        return true;
+                    }
+                    if visit.mark(v, Side::Backward) {
+                        next.push(v);
+                    }
+                }
+            }
+            bwd = next;
+        }
+    }
+    false
+}
+
+/// Collects the full forward closure of `s` (including `s` itself).
+pub fn forward_closure(g: &DiGraph, s: VertexId) -> Vec<VertexId> {
+    closure(g, s, true)
+}
+
+/// Collects the full backward closure of `s` (including `s` itself).
+pub fn backward_closure(g: &DiGraph, s: VertexId) -> Vec<VertexId> {
+    closure(g, s, false)
+}
+
+fn closure(g: &DiGraph, s: VertexId, forward: bool) -> Vec<VertexId> {
+    let mut seen = vec![false; g.num_vertices()];
+    seen[s.index()] = true;
+    let mut out = vec![s];
+    let mut head = 0;
+    while head < out.len() {
+        let u = out[head];
+        head += 1;
+        let neighbors =
+            if forward { g.out_neighbors(u) } else { g.in_neighbors(u) };
+        for &v in neighbors {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_and_branch() -> DiGraph {
+        // 0 -> 1 -> 2 -> 3, 1 -> 4, 5 isolated
+        DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (1, 4)])
+    }
+
+    #[test]
+    fn bfs_basic() {
+        let g = chain_and_branch();
+        let mut vm = VisitMap::new(g.num_vertices());
+        assert!(bfs_reaches(&g, VertexId(0), VertexId(3), &mut vm));
+        assert!(bfs_reaches(&g, VertexId(0), VertexId(4), &mut vm));
+        assert!(!bfs_reaches(&g, VertexId(3), VertexId(0), &mut vm));
+        assert!(!bfs_reaches(&g, VertexId(0), VertexId(5), &mut vm));
+        assert!(bfs_reaches(&g, VertexId(5), VertexId(5), &mut vm));
+    }
+
+    #[test]
+    fn dfs_agrees_with_bfs() {
+        let g = chain_and_branch();
+        let mut vm = VisitMap::new(g.num_vertices());
+        for s in g.vertices() {
+            for t in g.vertices() {
+                assert_eq!(
+                    bfs_reaches(&g, s, t, &mut vm),
+                    dfs_reaches(&g, s, t, &mut vm)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bibfs_agrees_with_bfs() {
+        let g = chain_and_branch();
+        let mut vm = VisitMap::new(g.num_vertices());
+        for s in g.vertices() {
+            for t in g.vertices() {
+                assert_eq!(
+                    bfs_reaches(&g, s, t, &mut vm),
+                    bibfs_reaches(&g, s, t, &mut vm),
+                    "mismatch for {s:?}->{t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bibfs_on_cycle() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let mut vm = VisitMap::new(4);
+        assert!(bibfs_reaches(&g, VertexId(1), VertexId(0), &mut vm));
+        assert!(bibfs_reaches(&g, VertexId(0), VertexId(3), &mut vm));
+        assert!(!bibfs_reaches(&g, VertexId(3), VertexId(0), &mut vm));
+    }
+
+    #[test]
+    fn visit_map_reset_is_cheap_and_correct() {
+        let mut vm = VisitMap::new(3);
+        assert!(vm.mark(VertexId(0), Side::Forward));
+        assert!(!vm.mark(VertexId(0), Side::Forward));
+        assert!(vm.is_marked(VertexId(0), Side::Forward));
+        vm.reset();
+        assert!(!vm.is_marked(VertexId(0), Side::Forward));
+        assert!(vm.mark(VertexId(0), Side::Forward));
+    }
+
+    #[test]
+    fn visit_map_sides_are_independent() {
+        let mut vm = VisitMap::new(2);
+        // In this map a vertex holds one stamp, so marking the same vertex
+        // from the other side overwrites — bidirectional search checks
+        // the opposite side *before* marking, which is all it needs.
+        assert!(vm.mark(VertexId(1), Side::Forward));
+        assert!(vm.is_marked(VertexId(1), Side::Forward));
+        assert!(!vm.is_marked(VertexId(1), Side::Backward));
+    }
+
+    #[test]
+    fn closures() {
+        let g = chain_and_branch();
+        let mut fwd = forward_closure(&g, VertexId(1));
+        fwd.sort();
+        assert_eq!(fwd, vec![VertexId(1), VertexId(2), VertexId(3), VertexId(4)]);
+        let mut bwd = backward_closure(&g, VertexId(3));
+        bwd.sort();
+        assert_eq!(bwd, vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]);
+    }
+
+    #[test]
+    fn traversal_stats_count_work() {
+        let g = chain_and_branch();
+        let mut vm = VisitMap::new(g.num_vertices());
+        let (ok, stats) = bfs_reaches_counted(&g, VertexId(0), VertexId(5), &mut vm);
+        assert!(!ok);
+        // Visits 0,1,2,3,4 and scans all 4 edges.
+        assert_eq!(stats.visited, 5);
+        assert_eq!(stats.edges_scanned, 4);
+    }
+}

@@ -1,0 +1,83 @@
+//! Dense vertex identifiers.
+
+use std::fmt;
+
+/// A vertex identifier: a dense index into a graph's vertex set.
+///
+/// `VertexId` is a transparent `u32` newtype, so vertex-indexed tables
+/// are plain `Vec`s and adjacency lists can be stored as `Vec<VertexId>`
+/// with no conversion cost. Graphs in this workspace are capped at
+/// `u32::MAX` vertices, which matches the scale the surveyed indexes
+/// target (millions of vertices).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// The vertex id as a `usize`, for indexing vertex tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a vertex id from a table index.
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in `u32`.
+    #[inline]
+    pub fn new(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize, "vertex index exceeds u32");
+        VertexId(i as u32)
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<VertexId> for u32 {
+    #[inline]
+    fn from(v: VertexId) -> Self {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let v = VertexId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(u32::from(v), 42);
+        assert_eq!(VertexId::from(42u32), v);
+    }
+
+    #[test]
+    fn ordering_matches_ids() {
+        assert!(VertexId(1) < VertexId(2));
+        assert_eq!(VertexId(7), VertexId(7));
+    }
+
+    #[test]
+    fn debug_and_display() {
+        assert_eq!(format!("{:?}", VertexId(3)), "v3");
+        assert_eq!(format!("{}", VertexId(3)), "3");
+    }
+}

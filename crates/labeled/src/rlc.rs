@@ -1,0 +1,352 @@
+//! The RLC index \[52\]: 2-hop labeling for recursive
+//! label-concatenated queries `Qr(s, t, (l1·l2·…·lk)*)` (§4.2).
+//!
+//! The index is built for a maximum concatenation length `kmax` (the
+//! survey: *"the concatenation length under the Kleene operator is
+//! leveraged to guide the computation"*). For every unit `u` with
+//! `|u| ≤ kmax`, entries record *phase-aligned repeats*:
+//!
+//! * `(h, u, p) ∈ Lout(s)` — an `s → h` path whose label sequence is
+//!   `u^a · u[0..p]` (full repeats then the first `p` symbols);
+//! * `(h, u, p) ∈ Lin(t)` — an `h → t` path matching `u` from phase
+//!   `p` onward and ending on a unit boundary.
+//!
+//! A query joins on `(h, u, p)`: the concatenation is then a whole
+//! number of repeats. Tracking the phase is what makes the entries
+//! transitive — the survey's second RLC challenge (*"MRs do not
+//! necessarily have the transitive property"*) — and bounding `|u|`
+//! by `kmax` keeps the descriptor universe finite — the first
+//! challenge (*"infinite MRs … as a result of directed cycles"*).
+//! Hops label their priority-restricted closures (cf. [`crate::dlcr`]),
+//! so the two-phase minimal-selection of the original paper is
+//! replaced by a per-hop-local construction with the same
+//! completeness guarantee.
+
+use crate::lcr::{
+    Completeness, ConstraintClass, Dynamism, InputClass, LabeledIndexMeta, RlcIndexApi,
+};
+use reach_graph::{Label, LabeledGraph, VertexId};
+
+/// One RLC label entry: `(hop rank, unit id, phase)`.
+type RlcEntry = (u32, u16, u8);
+
+/// The RLC index.
+///
+/// ```
+/// use reach_graph::{Label, LabeledGraph, VertexId};
+/// use reach_labeled::rlc::RlcIndex;
+/// use reach_labeled::RlcIndexApi;
+///
+/// // 0 -a-> 1 -b-> 2 -a-> 3 -b-> 4
+/// let g = LabeledGraph::from_edges(5, 2, &[(0, 0, 1), (1, 1, 2), (2, 0, 3), (3, 1, 4)]);
+/// let idx = RlcIndex::build(&g, 2);
+/// let (a, b) = (Label(0), Label(1));
+/// assert_eq!(idx.try_query(VertexId(0), VertexId(4), &[a, b]), Some(true));
+/// assert_eq!(idx.try_query(VertexId(0), VertexId(3), &[a, b]), Some(false));
+/// assert_eq!(idx.try_query(VertexId(0), VertexId(4), &[a, b, a]), None); // > kmax
+/// ```
+pub struct RlcIndex {
+    /// all units of length `1..=kmax`, sorted for binary search
+    units: Vec<Vec<Label>>,
+    kmax: usize,
+    lin: Vec<Vec<RlcEntry>>,
+    lout: Vec<Vec<RlcEntry>>,
+}
+
+fn enumerate_units(num_labels: usize, kmax: usize) -> Vec<Vec<Label>> {
+    let mut units: Vec<Vec<Label>> = Vec::new();
+    let mut frontier: Vec<Vec<Label>> = vec![Vec::new()];
+    for _ in 0..kmax {
+        let mut next = Vec::new();
+        for seq in &frontier {
+            for l in 0..num_labels {
+                let mut s = seq.clone();
+                s.push(Label(l as u8));
+                next.push(s);
+            }
+        }
+        units.extend(next.iter().cloned());
+        frontier = next;
+    }
+    units.sort();
+    units
+}
+
+impl RlcIndex {
+    /// Builds the index for concatenation units up to length `kmax`.
+    ///
+    /// The unit universe has `|L| + |L|² + … + |L|^kmax` members; the
+    /// constructor rejects configurations above 4096 units (the survey
+    /// is explicit that RLC indexing cost is high — this implementation
+    /// targets the small alphabets and short units of real queries).
+    pub fn build(g: &LabeledGraph, kmax: usize) -> Self {
+        assert!(kmax >= 1, "kmax must be at least 1");
+        let units = enumerate_units(g.num_labels(), kmax);
+        assert!(
+            units.len() <= 4096,
+            "unit universe too large: {} (reduce kmax or the alphabet)",
+            units.len()
+        );
+        let n = g.num_vertices();
+        let mut order: Vec<VertexId> = g.vertices().collect();
+        order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v.0));
+        let mut rank_of = vec![0u32; n];
+        for (r, &v) in order.iter().enumerate() {
+            rank_of[v.index()] = r as u32;
+        }
+
+        let mut idx = RlcIndex {
+            units,
+            kmax,
+            lin: vec![Vec::new(); n],
+            lout: vec![Vec::new(); n],
+        };
+        let mut seen = vec![false; 0];
+        for (r, &w) in order.iter().enumerate() {
+            for uid in 0..idx.units.len() {
+                let unit = idx.units[uid].clone();
+                for phase in 0..unit.len() {
+                    idx.hop_bfs(g, &rank_of, w, r as u32, uid as u16, &unit, phase as u8, true, &mut seen);
+                    idx.hop_bfs(g, &rank_of, w, r as u32, uid as u16, &unit, phase as u8, false, &mut seen);
+                }
+            }
+        }
+        for entries in idx.lin.iter_mut().chain(idx.lout.iter_mut()) {
+            entries.sort_unstable();
+            entries.dedup();
+        }
+        idx
+    }
+
+    /// One phase-aligned restricted BFS for hop `w`.
+    ///
+    /// Forward (`lin` entries, tag = start phase `p0`): states are
+    /// `(x, q)` with a `w → x` path matching `u` from phase `p0` to
+    /// phase `q`; an entry is recorded whenever `q == 0`.
+    /// Backward (`lout` entries, tag = end phase `p0`): states are
+    /// `(x, q)` with an `x → w` path matching `u` from phase `q` to
+    /// phase `p0`; an entry is recorded whenever `q == 0`.
+    #[allow(clippy::too_many_arguments)]
+    fn hop_bfs(
+        &mut self,
+        g: &LabeledGraph,
+        rank_of: &[u32],
+        w: VertexId,
+        r: u32,
+        uid: u16,
+        unit: &[Label],
+        p0: u8,
+        forward: bool,
+        seen: &mut Vec<bool>,
+    ) {
+        let n = g.num_vertices();
+        let klen = unit.len();
+        seen.clear();
+        seen.resize(n * klen, false);
+        let mut queue: Vec<(VertexId, u8)> = vec![(w, p0)];
+        seen[w.index() * klen + p0 as usize] = true;
+        let mut head = 0;
+        while head < queue.len() {
+            let (x, q) = queue[head];
+            head += 1;
+            if q == 0 {
+                let table = if forward { &mut self.lin } else { &mut self.lout };
+                table[x.index()].push((r, uid, p0));
+            }
+            // interior restriction: only lower-priority vertices are
+            // passed through
+            if x != w && rank_of[x.index()] < r {
+                continue;
+            }
+            if forward {
+                let want = unit[q as usize];
+                let nq = ((q as usize + 1) % klen) as u8;
+                for (y, l) in g.out_edges(x) {
+                    if l == want && !seen[y.index() * klen + nq as usize] {
+                        seen[y.index() * klen + nq as usize] = true;
+                        queue.push((y, nq));
+                    }
+                }
+            } else {
+                let nq = ((q as usize + klen - 1) % klen) as u8;
+                let want = unit[nq as usize];
+                for (y, l) in g.in_edges(x) {
+                    if l == want && !seen[y.index() * klen + nq as usize] {
+                        seen[y.index() * klen + nq as usize] = true;
+                        queue.push((y, nq));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The maximum supported unit length.
+    pub fn kmax(&self) -> usize {
+        self.kmax
+    }
+
+    fn unit_id(&self, unit: &[Label]) -> Option<u16> {
+        self.units
+            .binary_search_by(|u| u.as_slice().cmp(unit))
+            .ok()
+            .map(|i| i as u16)
+    }
+}
+
+impl RlcIndexApi for RlcIndex {
+    fn try_query(&self, s: VertexId, t: VertexId, unit: &[Label]) -> Option<bool> {
+        assert!(!unit.is_empty(), "concatenation unit must be non-empty");
+        if unit.len() > self.kmax {
+            return None;
+        }
+        if s == t {
+            return Some(true);
+        }
+        let uid = self.unit_id(unit)?;
+        // join on (rank, unit, phase); both lists are sorted
+        let lout = &self.lout[s.index()];
+        let lin = &self.lin[t.index()];
+        let (mut i, mut j) = (0, 0);
+        while i < lout.len() && j < lin.len() {
+            let a = lout[i];
+            let b = lin[j];
+            // compare on the full (rank, unit, phase) key but only
+            // accept matches for the queried unit
+            match a.cmp(&b) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if a.1 == uid {
+                        return Some(true);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Some(false)
+    }
+
+    fn meta(&self) -> LabeledIndexMeta {
+        LabeledIndexMeta {
+            name: "RLC index",
+            citation: "[52]",
+            framework: LcrFramework::TwoHop,
+            constraint: ConstraintClass::Concatenation,
+            completeness: Completeness::Complete,
+            input: InputClass::General,
+            dynamism: Dynamism::Static,
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        8 * self.size_entries() + 48 * self.lin.len()
+    }
+
+    fn size_entries(&self) -> usize {
+        self.lin.iter().map(Vec::len).sum::<usize>()
+            + self.lout.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+use crate::lcr::LcrFramework;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::rlc_bfs;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use reach_graph::fixtures::{self, B, FOLLOWS, FRIEND_OF, L, M, WORKS_FOR};
+    use reach_graph::generators::{random_labeled_digraph, LabelDistribution};
+
+    fn check_exact(g: &LabeledGraph, kmax: usize) {
+        let idx = RlcIndex::build(g, kmax);
+        let units = enumerate_units(g.num_labels(), kmax);
+        for unit in &units {
+            for s in g.vertices() {
+                for t in g.vertices() {
+                    assert_eq!(
+                        idx.try_query(s, t, unit),
+                        Some(rlc_bfs(g, s, t, unit)),
+                        "unit {unit:?} at {s:?}->{t:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn papers_mr_example() {
+        // Qr(L, B, (worksFor · friendOf)*) = true via the path
+        // (L, worksFor, D, friendOf, H, worksFor, G, friendOf, B)
+        let g = fixtures::figure1b();
+        let idx = RlcIndex::build(&g, 2);
+        assert_eq!(idx.try_query(L, B, &[WORKS_FOR, FRIEND_OF]), Some(true));
+        assert_eq!(idx.try_query(L, B, &[FRIEND_OF, WORKS_FOR]), Some(false));
+        assert_eq!(idx.try_query(L, M, &[WORKS_FOR, WORKS_FOR]), Some(true));
+        assert_eq!(idx.try_query(L, M, &[FOLLOWS, FOLLOWS]), Some(false));
+    }
+
+    #[test]
+    fn exact_on_figure1() {
+        check_exact(&fixtures::figure1b(), 2);
+    }
+
+    #[test]
+    fn exact_on_random_cyclic_graphs() {
+        let mut rng = SmallRng::seed_from_u64(271);
+        for _ in 0..3 {
+            let g = random_labeled_digraph(18, 55, 3, LabelDistribution::Uniform, &mut rng);
+            check_exact(&g, 2);
+        }
+    }
+
+    #[test]
+    fn exact_with_kmax_three() {
+        let mut rng = SmallRng::seed_from_u64(272);
+        let g = random_labeled_digraph(12, 40, 2, LabelDistribution::Uniform, &mut rng);
+        check_exact(&g, 3);
+    }
+
+    #[test]
+    fn cycles_with_repeats_are_found() {
+        // 0 -a-> 1 -b-> 0: (a·b)* loops arbitrarily
+        let g = LabeledGraph::from_edges(2, 2, &[(0, 0, 1), (1, 1, 0)]);
+        let idx = RlcIndex::build(&g, 2);
+        let (a, b) = (Label(0), Label(1));
+        assert_eq!(idx.try_query(VertexId(0), VertexId(0), &[a, b]), Some(true));
+        assert_eq!(idx.try_query(VertexId(1), VertexId(1), &[b, a]), Some(true));
+        // 0 -> 1 needs a lone 'a': unit (a) matches, unit (a,b) cannot
+        // end a full repeat at 1
+        assert_eq!(idx.try_query(VertexId(0), VertexId(1), &[a]), Some(true));
+        assert_eq!(idx.try_query(VertexId(0), VertexId(1), &[a, b]), Some(false));
+    }
+
+    #[test]
+    fn units_longer_than_kmax_are_rejected() {
+        let g = fixtures::figure1b();
+        let idx = RlcIndex::build(&g, 2);
+        assert_eq!(idx.try_query(L, B, &[WORKS_FOR, FRIEND_OF, WORKS_FOR]), None);
+    }
+
+    #[test]
+    fn unit_enumeration_is_complete_and_sorted() {
+        let units = enumerate_units(2, 2);
+        assert_eq!(units.len(), 2 + 4);
+        assert!(units.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unit universe too large")]
+    fn oversized_configurations_are_rejected() {
+        let g = random_labeled_digraph(
+            5,
+            10,
+            16,
+            LabelDistribution::Uniform,
+            &mut SmallRng::seed_from_u64(1),
+        );
+        let _ = RlcIndex::build(&g, 3);
+    }
+}

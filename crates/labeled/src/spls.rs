@@ -1,0 +1,208 @@
+//! Sufficient path-label sets (§4.1).
+//!
+//! The two foundations of LCR indexing, due to Jin et al. \[21\]:
+//!
+//! 1. *redundancy* — if two `s`–`t` paths have label sets `S1 ⊆ S2`,
+//!    recording `S1` suffices (`S2` is redundant). The non-redundant
+//!    sets form an antichain under `⊆`, which [`SplsSet`] maintains;
+//! 2. *transitivity* — the SPLSs from `s` to `t` arise as the
+//!    pairwise unions ("cross product") of the SPLSs `s → u` and
+//!    `u → t` ([`SplsSet::cross_product`]).
+
+use reach_graph::LabelSet;
+
+/// A minimal antichain of label sets: no member is a subset of another.
+///
+/// With ≤64 labels each member is one `u64`, so subset checks are a
+/// single mask operation. Members are kept sorted by `(popcount, bits)`
+/// for deterministic iteration.
+///
+/// ```
+/// use reach_graph::{Label, LabelSet};
+/// use reach_labeled::SplsSet;
+///
+/// let mut spls = SplsSet::new();
+/// spls.insert(LabelSet::from_labels([Label(0), Label(1)]));
+/// spls.insert(LabelSet::singleton(Label(0))); // evicts its superset
+/// assert_eq!(spls.len(), 1);
+/// assert!(spls.satisfies(LabelSet::from_labels([Label(0), Label(2)])));
+/// assert!(!spls.satisfies(LabelSet::singleton(Label(1))));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SplsSet {
+    sets: Vec<LabelSet>,
+}
+
+impl SplsSet {
+    /// The empty family (no path known).
+    pub fn new() -> Self {
+        SplsSet::default()
+    }
+
+    /// The family containing just `s`.
+    pub fn singleton(s: LabelSet) -> Self {
+        SplsSet { sets: vec![s] }
+    }
+
+    /// Inserts `s`, dropping it if some member is a subset of it and
+    /// evicting members it is a subset of. Returns `true` if the
+    /// family changed (i.e. `s` was genuinely new information).
+    pub fn insert(&mut self, s: LabelSet) -> bool {
+        for &m in &self.sets {
+            if m.is_subset_of(s) {
+                return false; // s is redundant
+            }
+        }
+        self.sets.retain(|&m| !s.is_subset_of(m));
+        let pos = self
+            .sets
+            .partition_point(|&m| (m.len(), m.0) < (s.len(), s.0));
+        self.sets.insert(pos, s);
+        true
+    }
+
+    /// Whether some recorded path-label set fits inside `allowed` —
+    /// the LCR query test.
+    pub fn satisfies(&self, allowed: LabelSet) -> bool {
+        // members are sorted by popcount: once a member is larger than
+        // the allowance it could still fit (different labels), so a
+        // full scan is required — but the antichain is tiny in practice
+        self.sets.iter().any(|&m| m.is_subset_of(allowed))
+    }
+
+    /// Whether the family already implies `s` (has a member `⊆ s`).
+    pub fn dominates(&self, s: LabelSet) -> bool {
+        self.sets.iter().any(|&m| m.is_subset_of(s))
+    }
+
+    /// The transitivity step: the minimal antichain of `a ∪ b` over all
+    /// members `a` of `self` and `b` of `other`.
+    pub fn cross_product(&self, other: &SplsSet) -> SplsSet {
+        let mut out = SplsSet::new();
+        for &a in &self.sets {
+            for &b in &other.sets {
+                out.insert(a.union(b));
+            }
+        }
+        out
+    }
+
+    /// Merges another family in, keeping minimality. Returns `true` if
+    /// anything changed.
+    pub fn merge(&mut self, other: &SplsSet) -> bool {
+        let mut changed = false;
+        for &s in &other.sets {
+            changed |= self.insert(s);
+        }
+        changed
+    }
+
+    /// The members, sorted by `(popcount, bits)`.
+    pub fn sets(&self) -> &[LabelSet] {
+        &self.sets
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether no path is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_graph::Label;
+
+    fn ls(bits: &[u8]) -> LabelSet {
+        LabelSet::from_labels(bits.iter().map(|&b| Label(b)))
+    }
+
+    #[test]
+    fn insert_keeps_antichain() {
+        let mut f = SplsSet::new();
+        assert!(f.insert(ls(&[0, 1])));
+        assert!(f.insert(ls(&[2])));
+        // superset of {2}: redundant
+        assert!(!f.insert(ls(&[2, 3])));
+        assert_eq!(f.len(), 2);
+        // subset of {0,1}: evicts it
+        assert!(f.insert(ls(&[0])));
+        assert_eq!(f.len(), 2);
+        assert!(f.sets().contains(&ls(&[0])));
+        assert!(!f.sets().contains(&ls(&[0, 1])));
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let mut f = SplsSet::singleton(ls(&[1]));
+        assert!(!f.insert(ls(&[1])));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn satisfies_checks_subset() {
+        let mut f = SplsSet::new();
+        f.insert(ls(&[0, 2]));
+        f.insert(ls(&[1]));
+        assert!(f.satisfies(ls(&[1, 3])));
+        assert!(f.satisfies(ls(&[0, 2])));
+        assert!(!f.satisfies(ls(&[0])));
+        assert!(!f.satisfies(ls(&[3])));
+        assert!(!SplsSet::new().satisfies(ls(&[0, 1, 2])));
+    }
+
+    #[test]
+    fn empty_set_member_satisfies_everything() {
+        let f = SplsSet::singleton(LabelSet::EMPTY);
+        assert!(f.satisfies(LabelSet::EMPTY));
+        assert!(f.satisfies(ls(&[5])));
+    }
+
+    #[test]
+    fn cross_product_is_pairwise_union() {
+        // the paper's example: SPLS(A→L) = {follows}, SPLS(L→M) =
+        // {worksFor} ⇒ SPLS(A→M) = {follows, worksFor}
+        let a_l = SplsSet::singleton(ls(&[1]));
+        let l_m = SplsSet::singleton(ls(&[2]));
+        let a_m = a_l.cross_product(&l_m);
+        assert_eq!(a_m.sets(), &[ls(&[1, 2])]);
+    }
+
+    #[test]
+    fn cross_product_minimizes() {
+        let mut left = SplsSet::new();
+        left.insert(ls(&[0]));
+        left.insert(ls(&[1]));
+        let mut right = SplsSet::new();
+        right.insert(ls(&[0]));
+        right.insert(ls(&[1, 2]));
+        let prod = left.cross_product(&right);
+        // {0}∪{0}={0} dominates {0}∪{1,2}={0,1,2} and {1}∪{0}={0,1}
+        assert!(prod.sets().contains(&ls(&[0])));
+        assert!(!prod.sets().contains(&ls(&[0, 1, 2])));
+    }
+
+    #[test]
+    fn merge_accumulates_minimally() {
+        let mut f = SplsSet::singleton(ls(&[0, 1]));
+        let g = SplsSet::singleton(ls(&[1]));
+        assert!(f.merge(&g));
+        assert_eq!(f.sets(), &[ls(&[1])]);
+        assert!(!f.merge(&g), "second merge changes nothing");
+    }
+
+    #[test]
+    fn members_sorted_by_popcount() {
+        let mut f = SplsSet::new();
+        f.insert(ls(&[0, 3]));
+        f.insert(ls(&[1]));
+        f.insert(ls(&[2, 4]));
+        let lens: Vec<usize> = f.sets().iter().map(|s| s.len()).collect();
+        assert!(lens.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,337 @@
+//! Witness-path extraction: the paths behind a `true` answer.
+//!
+//! Reachability indexes answer *whether* an `s`–`t` path exists; real
+//! deployments (the survey's fraud-detection and biology use cases in
+//! §2.2) usually need to show *which* path. These helpers recover a
+//! shortest witness for each query class, so any index answer can be
+//! explained or audited.
+
+use crate::constraint::Nfa;
+use reach_graph::{Label, LabelSet, LabeledGraph, VertexId};
+
+/// A witness path: the visited vertices and the labels of the edges
+/// between them (`labels.len() + 1 == vertices.len()`, both empty-free).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// Vertices in path order, starting at the source.
+    pub vertices: Vec<VertexId>,
+    /// Edge labels in path order.
+    pub labels: Vec<Label>,
+}
+
+impl Witness {
+    /// Number of edges on the path.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether this is the empty (single-vertex) path.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The label set of the path (an SPLS candidate).
+    pub fn label_set(&self) -> LabelSet {
+        LabelSet::from_labels(self.labels.iter().copied())
+    }
+}
+
+/// Shortest witness for a plain reachability query (`None` if `t` is
+/// unreachable from `s`; the empty witness for `s == t`).
+pub fn plain_witness(g: &LabeledGraph, s: VertexId, t: VertexId) -> Option<Witness> {
+    if s == t {
+        return Some(Witness { vertices: vec![s], labels: vec![] });
+    }
+    lcr_witness(g, s, t, LabelSet::full(g.num_labels()))
+}
+
+/// Shortest witness for an alternation (LCR) query: a path using only
+/// labels in `allowed`.
+pub fn lcr_witness(
+    g: &LabeledGraph,
+    s: VertexId,
+    t: VertexId,
+    allowed: LabelSet,
+) -> Option<Witness> {
+    if s == t {
+        return Some(Witness { vertices: vec![s], labels: vec![] });
+    }
+    let n = g.num_vertices();
+    // predecessor[v] = (prev vertex, label) on the BFS tree
+    let mut pred: Vec<Option<(VertexId, Label)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    seen[s.index()] = true;
+    let mut queue = vec![s];
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        for (v, l) in g.out_edges(u) {
+            if !allowed.contains(l) || seen[v.index()] {
+                continue;
+            }
+            seen[v.index()] = true;
+            pred[v.index()] = Some((u, l));
+            if v == t {
+                return Some(unwind(&pred, s, t));
+            }
+            queue.push(v);
+        }
+    }
+    None
+}
+
+/// Shortest witness for a concatenation (RLC) query: a path whose
+/// label sequence is one or more full repetitions of `unit`.
+pub fn rlc_witness(
+    g: &LabeledGraph,
+    s: VertexId,
+    t: VertexId,
+    unit: &[Label],
+) -> Option<Witness> {
+    assert!(!unit.is_empty());
+    if s == t {
+        return Some(Witness { vertices: vec![s], labels: vec![] });
+    }
+    let k = unit.len();
+    let n = g.num_vertices();
+    let mut pred: Vec<Option<(VertexId, usize, Label)>> = vec![None; n * k];
+    let mut seen = vec![false; n * k];
+    seen[s.index() * k] = true;
+    let mut queue = vec![(s, 0usize)];
+    let mut head = 0;
+    while head < queue.len() {
+        let (u, phase) = queue[head];
+        head += 1;
+        let want = unit[phase];
+        let next = (phase + 1) % k;
+        for (v, l) in g.out_edges(u) {
+            if l != want || seen[v.index() * k + next] {
+                continue;
+            }
+            seen[v.index() * k + next] = true;
+            pred[v.index() * k + next] = Some((u, phase, l));
+            if v == t && next == 0 {
+                return Some(unwind_phased(&pred, s, t, k));
+            }
+            queue.push((v, next));
+        }
+    }
+    None
+}
+
+/// Shortest witness for a general regular path query over `nfa`.
+pub fn rpq_witness(g: &LabeledGraph, s: VertexId, t: VertexId, nfa: &Nfa) -> Option<Witness> {
+    let ns = nfa.num_states();
+    let mut start = vec![nfa.start()];
+    nfa.epsilon_closure(&mut start);
+    if s == t && start.iter().any(|&q| nfa.is_accept(q)) {
+        return Some(Witness { vertices: vec![s], labels: vec![] });
+    }
+    let n = g.num_vertices();
+    let mut pred: Vec<Option<(VertexId, u32, Label)>> = vec![None; n * ns];
+    let mut seen = vec![false; n * ns];
+    let mut queue: Vec<(VertexId, u32)> = Vec::new();
+    for &q in &start {
+        seen[s.index() * ns + q as usize] = true;
+        queue.push((s, q));
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let (u, q) = queue[head];
+        head += 1;
+        for (v, l) in g.out_edges(u) {
+            let mut targets: Vec<u32> = nfa.step(q, l).collect();
+            nfa.epsilon_closure(&mut targets);
+            for qq in targets {
+                let slot = v.index() * ns + qq as usize;
+                if seen[slot] {
+                    continue;
+                }
+                seen[slot] = true;
+                pred[slot] = Some((u, q, l));
+                if v == t && nfa.is_accept(qq) {
+                    return Some(unwind_nfa(&pred, s, v, qq, ns, &start));
+                }
+                queue.push((v, qq));
+            }
+        }
+    }
+    None
+}
+
+fn unwind(pred: &[Option<(VertexId, Label)>], s: VertexId, t: VertexId) -> Witness {
+    let mut vertices = vec![t];
+    let mut labels = Vec::new();
+    let mut cur = t;
+    while cur != s {
+        let (prev, l) = pred[cur.index()].expect("predecessor chain reaches s");
+        labels.push(l);
+        vertices.push(prev);
+        cur = prev;
+    }
+    vertices.reverse();
+    labels.reverse();
+    Witness { vertices, labels }
+}
+
+fn unwind_phased(
+    pred: &[Option<(VertexId, usize, Label)>],
+    s: VertexId,
+    t: VertexId,
+    k: usize,
+) -> Witness {
+    let mut vertices = vec![t];
+    let mut labels = Vec::new();
+    let mut cur = t;
+    let mut phase = 0usize; // t is reached at a unit boundary
+    while let Some((prev, prev_phase, l)) = pred[cur.index() * k + phase] {
+        labels.push(l);
+        vertices.push(prev);
+        cur = prev;
+        phase = prev_phase;
+    }
+    debug_assert!(cur == s && phase == 0, "chain roots at the source");
+    vertices.reverse();
+    labels.reverse();
+    Witness { vertices, labels }
+}
+
+fn unwind_nfa(
+    pred: &[Option<(VertexId, u32, Label)>],
+    s: VertexId,
+    t: VertexId,
+    accept_state: u32,
+    ns: usize,
+    start_states: &[u32],
+) -> Witness {
+    let mut vertices = vec![t];
+    let mut labels = Vec::new();
+    let mut cur = t;
+    let mut state = accept_state;
+    while let Some((prev, prev_state, l)) = pred[cur.index() * ns + state as usize] {
+        labels.push(l);
+        vertices.push(prev);
+        cur = prev;
+        state = prev_state;
+    }
+    debug_assert!(cur == s && start_states.contains(&state), "chain roots at the source");
+    vertices.reverse();
+    labels.reverse();
+    Witness { vertices, labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::parse;
+    use crate::online::{lcr_bfs, rlc_bfs, rpq_bfs};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use reach_graph::fixtures::{self, A, B, D, FOLLOWS, FRIEND_OF, G, H, L, WORKS_FOR};
+    use reach_graph::generators::{random_labeled_digraph, LabelDistribution};
+
+    fn verify_witness(g: &LabeledGraph, s: VertexId, t: VertexId, w: &Witness) {
+        assert_eq!(w.vertices.first(), Some(&s));
+        assert_eq!(w.vertices.last(), Some(&t));
+        assert_eq!(w.vertices.len(), w.labels.len() + 1);
+        for (i, &l) in w.labels.iter().enumerate() {
+            let (u, v) = (w.vertices[i], w.vertices[i + 1]);
+            assert!(
+                g.out_edges(u).any(|(x, el)| x == v && el == l),
+                "edge {u:?} -{l:?}-> {v:?} not in graph"
+            );
+        }
+    }
+
+    #[test]
+    fn plain_witness_on_figure1() {
+        let g = fixtures::figure1b();
+        let w = plain_witness(&g, A, G).expect("A reaches G");
+        verify_witness(&g, A, G, &w);
+        // the shortest A→G path is the paper's (A, D, H, G)
+        assert_eq!(w.vertices, vec![A, D, H, G]);
+        assert!(plain_witness(&g, G, A).is_none());
+        assert_eq!(plain_witness(&g, A, A).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn lcr_witness_respects_the_constraint() {
+        let g = fixtures::figure1b();
+        let allowed = LabelSet::from_labels([FRIEND_OF, FOLLOWS]);
+        assert!(lcr_witness(&g, A, G, allowed).is_none(), "the paper's false query");
+        let w = lcr_witness(&g, A, H, allowed).expect("A→D→H avoids worksFor");
+        verify_witness(&g, A, H, &w);
+        assert!(w.label_set().is_subset_of(allowed));
+    }
+
+    #[test]
+    fn rlc_witness_is_a_full_repetition() {
+        let g = fixtures::figure1b();
+        let unit = [WORKS_FOR, FRIEND_OF];
+        let w = rlc_witness(&g, L, B, &unit).expect("the paper's MR example");
+        verify_witness(&g, L, B, &w);
+        assert_eq!(w.labels.len() % unit.len(), 0);
+        for (i, &l) in w.labels.iter().enumerate() {
+            assert_eq!(l, unit[i % unit.len()], "phase-aligned repetition");
+        }
+        assert!(rlc_witness(&g, L, B, &[FRIEND_OF, WORKS_FOR]).is_none());
+    }
+
+    #[test]
+    fn rpq_witness_word_is_accepted() {
+        let g = fixtures::figure1b();
+        let alphabet = ["friendOf", "follows", "worksFor"];
+        let nfa = Nfa::compile(&parse("follows · worksFor+", &alphabet).unwrap());
+        for s in g.vertices() {
+            for t in g.vertices() {
+                match rpq_witness(&g, s, t, &nfa) {
+                    Some(w) => {
+                        verify_witness(&g, s, t, &w);
+                        assert!(nfa.accepts(&w.labels), "witness word rejected");
+                    }
+                    None => assert!(!rpq_bfs(&g, s, t, &nfa)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn witness_existence_matches_the_boolean_evaluators() {
+        let mut rng = SmallRng::seed_from_u64(401);
+        let g = random_labeled_digraph(30, 90, 3, LabelDistribution::Uniform, &mut rng);
+        for _ in 0..60 {
+            let s = VertexId(rng.random_range(0..30));
+            let t = VertexId(rng.random_range(0..30));
+            let allowed = LabelSet(rng.random_range(0..8));
+            match lcr_witness(&g, s, t, allowed) {
+                Some(w) => {
+                    verify_witness(&g, s, t, &w);
+                    assert!(w.label_set().is_subset_of(allowed) || w.is_empty());
+                    assert!(lcr_bfs(&g, s, t, allowed));
+                }
+                None => assert!(!lcr_bfs(&g, s, t, allowed)),
+            }
+            let unit = [Label(rng.random_range(0..3)), Label(rng.random_range(0..3))];
+            match rlc_witness(&g, s, t, &unit) {
+                Some(w) => {
+                    verify_witness(&g, s, t, &w);
+                    assert!(rlc_bfs(&g, s, t, &unit));
+                }
+                None => assert!(!rlc_bfs(&g, s, t, &unit)),
+            }
+        }
+    }
+
+    #[test]
+    fn witnesses_are_shortest() {
+        // diamond with a long detour: witness must take the short arm
+        let g = LabeledGraph::from_edges(
+            5,
+            2,
+            &[(0, 0, 1), (1, 0, 4), (0, 0, 2), (2, 0, 3), (3, 0, 4)],
+        );
+        let w = plain_witness(&g, VertexId(0), VertexId(4)).unwrap();
+        assert_eq!(w.len(), 2);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests for the dynamic indexes (the "Dynamic"
+//! columns of Tables 1 and 2): arbitrary edit scripts must leave every
+//! dynamic index equivalent to a fresh rebuild, and the constraint
+//! parser must be total (never panic) on arbitrary input.
+
+use proptest::prelude::*;
+use reachability::graph::traverse::{bfs_reaches, VisitMap};
+use reachability::labeled::dlcr::Dlcr;
+use reachability::labeled::online::lcr_bfs;
+use reachability::plain::dagger::DynamicGrail;
+use reachability::plain::dbl::Dbl;
+use reachability::prelude::*;
+
+/// An edit: insert (op = 0) or delete (op = 1) the edge derived from
+/// `(x, y)` on an `n`-vertex graph.
+type Edit = (u8, u32, u32);
+
+fn apply_plain(edits: &[Edit], n: u32, edges: &mut Vec<(u32, u32)>) -> Vec<(u8, u32, u32)> {
+    let mut resolved = Vec::new();
+    for &(op, x, y) in edits {
+        let u = x % n;
+        let mut v = y % n;
+        if v == u {
+            v = (v + 1) % n;
+        }
+        resolved.push((op % 2, u, v));
+        if op % 2 == 0 {
+            if !edges.contains(&(u, v)) {
+                edges.push((u, v));
+            }
+        } else {
+            edges.retain(|&e| e != (u, v));
+        }
+    }
+    resolved
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dbl_inserts_match_rebuild(
+        base in proptest::collection::vec((0u32..15, 0u32..15), 0..30),
+        inserts in proptest::collection::vec((0u32..15, 0u32..15), 1..15),
+    ) {
+        let n = 15u32;
+        let mut edges: Vec<(u32, u32)> = base
+            .into_iter()
+            .filter(|&(u, v)| u != v)
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        let g = DiGraph::from_edges(n as usize, &edges);
+        let mut dbl = Dbl::build(&g);
+        for (u, v) in inserts {
+            let mut v = v % n;
+            if v == u {
+                v = (v + 1) % n;
+            }
+            dbl.insert_edge(VertexId(u), VertexId(v));
+            if !edges.contains(&(u, v)) {
+                edges.push((u, v));
+            }
+        }
+        let now = DiGraph::from_edges(n as usize, &edges);
+        let mut vm = VisitMap::new(n as usize);
+        for s in now.vertices() {
+            for t in now.vertices() {
+                prop_assert_eq!(
+                    dbl.query(s, t),
+                    bfs_reaches(&now, s, t, &mut vm),
+                    "at {}->{}", s, t
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dagger_survives_arbitrary_edit_scripts(
+        m in 0usize..40,
+        edits in proptest::collection::vec((0u8..2, 0u32..12, 0u32..12), 1..20),
+        seed in 0u64..100,
+    ) {
+        // base DAG: forward edges derived from the seed
+        let n = 12u32;
+        let mut rng = {
+            use rand::SeedableRng;
+            rand::rngs::SmallRng::seed_from_u64(seed)
+        };
+        use rand::Rng;
+        let mut edges: Vec<(u32, u32)> = (0..m)
+            .map(|_| {
+                let u = rng.random_range(0..n - 1);
+                let v = rng.random_range(u + 1..n);
+                (u, v)
+            })
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        let dag = Dag::new(DiGraph::from_edges(n as usize, &edges)).unwrap();
+        let mut dagger = DynamicGrail::build(&dag, 2, seed);
+        // DAGGER tolerates arbitrary (even cycle-creating) edits
+        let resolved = apply_plain(&edits, n, &mut edges);
+        for (op, u, v) in resolved {
+            if op == 0 {
+                dagger.insert_edge(VertexId(u), VertexId(v));
+            } else {
+                dagger.delete_edge(VertexId(u), VertexId(v));
+            }
+        }
+        let now = DiGraph::from_edges(n as usize, &edges);
+        let mut vm = VisitMap::new(n as usize);
+        for s in now.vertices() {
+            for t in now.vertices() {
+                prop_assert_eq!(dagger.query(s, t), bfs_reaches(&now, s, t, &mut vm));
+            }
+        }
+    }
+
+    #[test]
+    fn dlcr_edit_scripts_match_rebuild(
+        base in proptest::collection::vec((0u32..10, 0u8..2, 0u32..10), 0..20),
+        edits in proptest::collection::vec((0u8..2, 0u32..10, 0u8..2, 0u32..10), 1..10),
+    ) {
+        let n = 10u32;
+        let mut edges: Vec<(u32, u8, u32)> = base
+            .into_iter()
+            .filter(|&(u, _, v)| u != v)
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        let g = LabeledGraph::from_edges(n as usize, 2, &edges);
+        let mut dlcr = Dlcr::build(&g);
+        for (op, u, l, v) in edits {
+            let mut v = v % n;
+            if v == u {
+                v = (v + 1) % n;
+            }
+            if op % 2 == 0 {
+                dlcr.insert_edge(VertexId(u), Label(l), VertexId(v));
+                if !edges.contains(&(u, l, v)) {
+                    edges.push((u, l, v));
+                }
+            } else {
+                dlcr.delete_edge(VertexId(u), Label(l), VertexId(v));
+                edges.retain(|&e| e != (u, l, v));
+            }
+        }
+        let now = LabeledGraph::from_edges(n as usize, 2, &edges);
+        for s in now.vertices() {
+            for t in now.vertices() {
+                for mask in 0..4u64 {
+                    let allowed = LabelSet(mask);
+                    prop_assert_eq!(
+                        dlcr.query(s, t, allowed),
+                        lcr_bfs(&now, s, t, allowed),
+                        "at {}->{} under {:?}", s, t, allowed
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constraint_parser_is_total(input in "\\PC{0,40}") {
+        // never panics; either parses or reports a positioned error
+        let _ = reachability::labeled::parse(&input, &["a", "b", "c"]);
+    }
+
+    #[test]
+    fn parser_roundtrips_valid_alternations(labels in proptest::collection::vec(0u8..3, 1..4)) {
+        let names = ["a", "b", "c"];
+        let expr = format!(
+            "({})*",
+            labels.iter().map(|&l| names[l as usize]).collect::<Vec<_>>().join(" ∪ ")
+        );
+        let ast = reachability::labeled::parse(&expr, &names).unwrap();
+        let expect = LabelSet::from_labels(labels.iter().map(|&l| Label(l)));
+        prop_assert_eq!(ast.classify(), ConstraintKind::Alternation(expect));
+    }
+
+    #[test]
+    fn io_roundtrip_is_identity(
+        edges in proptest::collection::vec((0u32..20, 0u8..4, 0u32..20), 0..50)
+    ) {
+        let g = LabeledGraph::from_edges(20, 4, &edges);
+        let text = reachability::graph::io::write_labeled(&g);
+        let back = reachability::graph::io::read_labeled(&text).unwrap();
+        prop_assert_eq!(g, back);
+    }
+}

@@ -1,0 +1,120 @@
+//! Integration test for §5's guided-traversal mechanics: the filters
+//! must demonstrably *reduce work*, not just stay correct — a partial
+//! index whose lookups never prune would silently degenerate to DFS.
+
+use rand::SeedableRng;
+use reach_bench::queries::query_mix;
+use reach_bench::workloads::Shape;
+use reachability::plain::engine::GuidedSearch;
+use reachability::plain::grail::GrailFilter;
+use reachability::plain::{bfl, ferrari, grail};
+use reachability::prelude::*;
+use std::sync::Arc;
+
+fn oblivious_meta() -> IndexMeta {
+    IndexMeta {
+        name: "oblivious",
+        citation: "[-]",
+        framework: Framework::Other,
+        completeness: Completeness::Partial,
+        input: InputClass::Dag,
+        dynamism: Dynamism::Static,
+    }
+}
+
+/// A filter that never decides — guided search over it IS plain DFS,
+/// giving a work baseline.
+struct Oblivious;
+impl ReachFilter for Oblivious {
+    fn certain(&self, _: VertexId, _: VertexId) -> Certainty {
+        Certainty::Unknown
+    }
+    fn guarantees(&self) -> FilterGuarantees {
+        FilterGuarantees { definite_positive: false, definite_negative: false }
+    }
+    fn size_bytes(&self) -> usize {
+        0
+    }
+    fn size_entries(&self) -> usize {
+        0
+    }
+}
+
+#[test]
+fn real_filters_expand_fewer_vertices_than_dfs() {
+    let graph = Shape::Sparse.generate(2_000, 55);
+    let dag = Dag::new(graph).unwrap();
+    let shared = Arc::new(dag.graph().clone());
+    let mix = query_mix(&shared, 400, 0.5, 3);
+
+    let baseline = GuidedSearch::new(shared.clone(), Oblivious, oblivious_meta());
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+    let candidates: Vec<(&str, GuidedSearch<Box<dyn ReachFilter>>)> = vec![
+        (
+            "GRAIL",
+            GuidedSearch::new(
+                shared.clone(),
+                Box::new(GrailFilter::build(&dag, 3, &mut rng)) as Box<dyn ReachFilter>,
+                oblivious_meta(),
+            ),
+        ),
+        (
+            "Ferrari",
+            GuidedSearch::new(
+                shared.clone(),
+                Box::new(ferrari::FerrariFilter::build(&dag, 4)),
+                oblivious_meta(),
+            ),
+        ),
+        (
+            "BFL",
+            GuidedSearch::new(
+                shared.clone(),
+                Box::new(bfl::BflFilter::build(&dag, 256, 1)),
+                oblivious_meta(),
+            ),
+        ),
+    ];
+
+    let mut base_work = 0usize;
+    for &(s, t) in &mix.pairs {
+        base_work += baseline.query_counted(s, t).1.expanded;
+    }
+    for (name, idx) in &candidates {
+        let mut work = 0usize;
+        for &(s, t) in &mix.pairs {
+            let (answer, stats) = idx.query_counted(s, t);
+            assert_eq!(answer, baseline.query(s, t), "{name} wrong at {s:?}->{t:?}");
+            work += stats.expanded;
+        }
+        assert!(
+            work * 2 < base_work,
+            "{name} should prune at least half the DFS expansions \
+             ({work} vs baseline {base_work})"
+        );
+    }
+}
+
+#[test]
+fn definite_positive_filters_short_circuit() {
+    // Ferrari's exact intervals answer reachable tree pairs with zero
+    // expansions
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(10);
+    let dag = reachability::graph::generators::random_tree_plus_edges(500, 5, &mut rng);
+    let idx = grail::build_grail(&dag, 2, 3);
+    let ferrari = ferrari::build_ferrari(&dag, 8);
+    let mut zero_expansion_hits = 0;
+    for s in dag.vertices().step_by(7) {
+        for t in dag.vertices().step_by(11) {
+            let (answer, stats) = ferrari.query_counted(s, t);
+            assert_eq!(answer, idx.query(s, t));
+            if answer && stats.expanded == 0 {
+                zero_expansion_hits += 1;
+            }
+        }
+    }
+    assert!(
+        zero_expansion_hits > 0,
+        "exact intervals should answer some positives by lookup alone"
+    );
+}

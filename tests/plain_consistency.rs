@@ -1,0 +1,93 @@
+//! Integration test: every plain index agrees with the transitive
+//! closure on every graph shape the workload generators produce —
+//! the central cross-index invariant of the workspace.
+
+use reach_bench::registry::{build_plain, plain_feasible, PLAIN_NAMES};
+use reach_bench::workloads::Shape;
+use reachability::prelude::*;
+use std::sync::Arc;
+
+fn check_shape(shape: Shape, n: usize, seed: u64) {
+    let g = Arc::new(shape.generate(n, seed));
+    let tc = TransitiveClosure::build(&g);
+    for name in PLAIN_NAMES {
+        if !plain_feasible(name, g.num_vertices(), g.num_edges()) {
+            continue;
+        }
+        let idx = build_plain(name, &g);
+        for s in g.vertices() {
+            for t in g.vertices() {
+                assert_eq!(
+                    idx.query(s, t),
+                    tc.reaches(s, t),
+                    "{name} on {} at {s:?}->{t:?}",
+                    shape.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_indexes_agree_on_sparse_dags() {
+    check_shape(Shape::Sparse, 60, 1);
+}
+
+#[test]
+fn all_indexes_agree_on_dense_dags() {
+    check_shape(Shape::Dense, 50, 2);
+}
+
+#[test]
+fn all_indexes_agree_on_deep_dags() {
+    check_shape(Shape::Deep, 100, 3);
+}
+
+#[test]
+fn all_indexes_agree_on_power_law_dags() {
+    check_shape(Shape::PowerLaw, 70, 4);
+}
+
+#[test]
+fn all_indexes_agree_on_tree_like_dags() {
+    check_shape(Shape::TreeLike, 80, 5);
+}
+
+#[test]
+fn all_indexes_agree_on_cyclic_graphs() {
+    check_shape(Shape::Cyclic, 60, 6);
+}
+
+#[test]
+fn all_indexes_agree_on_edge_cases() {
+    // empty graph, single edge, self-contained clique
+    for edges in [vec![], vec![(0u32, 1u32)], vec![(0, 1), (1, 2), (2, 0)]] {
+        let g = Arc::new(DiGraph::from_edges(3, &edges));
+        let tc = TransitiveClosure::build(&g);
+        for name in PLAIN_NAMES {
+            let idx = build_plain(name, &g);
+            for s in g.vertices() {
+                for t in g.vertices() {
+                    assert_eq!(idx.query(s, t), tc.reaches(s, t), "{name} on {edges:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sizes_are_reported_consistently() {
+    let g = Arc::new(Shape::Sparse.generate(120, 9));
+    for name in PLAIN_NAMES {
+        if !plain_feasible(name, 120, g.num_edges()) {
+            continue;
+        }
+        let idx = build_plain(name, &g);
+        if name.starts_with("online") {
+            assert_eq!(idx.size_bytes(), 0, "{name}");
+        } else {
+            assert!(idx.size_bytes() > 0, "{name} must report a footprint");
+            assert!(idx.size_entries() > 0, "{name} must report entries");
+        }
+    }
+}

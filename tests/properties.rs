@@ -1,0 +1,200 @@
+//! Property-based tests (proptest) for the core invariants:
+//!
+//! * partial-index filters keep their advertised guarantees on
+//!   arbitrary DAGs (no false negatives / no false positives);
+//! * every complete index equals the transitive closure;
+//! * SPLS antichain algebra laws;
+//! * dynamic indexes match rebuilds under arbitrary edit scripts.
+
+use proptest::prelude::*;
+use reachability::labeled::online::lcr_bfs;
+use reachability::labeled::SplsSet;
+use reachability::plain::{bfl, feline, ferrari, grail, ip, oreach, preach};
+use reachability::prelude::*;
+
+/// Strategy: an arbitrary DAG as (n, forward edges).
+fn arb_dag() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (4usize..24).prop_flat_map(|n| {
+        let edge = (0..(n as u32 - 1), 0..(n as u32)).prop_map(move |(u, d)| {
+            let v = u + 1 + d % (n as u32 - 1 - u).max(1);
+            (u, v.min(n as u32 - 1).max(u + 1))
+        });
+        (Just(n), proptest::collection::vec(edge, 0..60))
+    })
+}
+
+/// Strategy: an arbitrary digraph (cycles allowed).
+fn arb_digraph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (4usize..20).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32 - 1).prop_map(move |(u, v)| {
+            let v = if v >= u { v + 1 } else { v };
+            (u, v)
+        });
+        (Just(n), proptest::collection::vec(edge, 0..50))
+    })
+}
+
+/// Strategy: an arbitrary labeled digraph.
+fn arb_labeled() -> impl Strategy<Value = (usize, Vec<(u32, u8, u32)>)> {
+    (4usize..16).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..3u8, 0..n as u32 - 1).prop_map(move |(u, l, v)| {
+            let v = if v >= u { v + 1 } else { v };
+            (u, l, v)
+        });
+        (Just(n), proptest::collection::vec(edge, 0..40))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn no_false_negative_filters_never_reject_reachable_pairs(
+        (n, edges) in arb_dag(), seed in 0u64..1000
+    ) {
+        let g = DiGraph::from_edges(n, &edges);
+        let dag = Dag::new(g).expect("forward edges are acyclic");
+        let tc = TransitiveClosure::build_dag(&dag);
+        let mut rng = {
+            use rand::SeedableRng;
+            rand::rngs::SmallRng::seed_from_u64(seed)
+        };
+        let filters: Vec<(&str, Box<dyn ReachFilter>)> = vec![
+            ("GRAIL", Box::new(grail::GrailFilter::build(&dag, 2, &mut rng))),
+            ("Ferrari", Box::new(ferrari::FerrariFilter::build(&dag, 2))),
+            ("IP", Box::new(ip::IpFilter::build(&dag, 3, seed))),
+            ("BFL", Box::new(bfl::BflFilter::build(&dag, 64, seed))),
+            ("Feline", Box::new(feline::FelineFilter::build(&dag))),
+            ("O'Reach", Box::new(oreach::OReachFilter::build(&dag, 4))),
+            ("PReaCH", Box::new(preach::PreachFilter::build(&dag))),
+        ];
+        for (name, filter) in &filters {
+            for s in dag.vertices() {
+                for t in dag.vertices() {
+                    match filter.certain(s, t) {
+                        Certainty::Unreachable => prop_assert!(
+                            !tc.reaches(s, t), "{name}: false negative {s:?}->{t:?}"
+                        ),
+                        Certainty::Reachable => prop_assert!(
+                            tc.reaches(s, t), "{name}: false positive {s:?}->{t:?}"
+                        ),
+                        Certainty::Unknown => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complete_indexes_equal_the_transitive_closure(
+        (n, edges) in arb_digraph()
+    ) {
+        let g = DiGraph::from_edges(n, &edges);
+        let tc = TransitiveClosure::build(&g);
+        let pll = reachability::plain::pll::Pll::build(&g);
+        let dl = reachability::plain::tol::build_dl(&g);
+        let gripp = reachability::plain::gripp::Gripp::build(&g);
+        let cond_tree = Condensed::build(&g, reachability::plain::tree_cover::TreeCover::build);
+        for s in g.vertices() {
+            for t in g.vertices() {
+                let expect = tc.reaches(s, t);
+                prop_assert_eq!(pll.query(s, t), expect);
+                prop_assert_eq!(dl.query(s, t), expect);
+                prop_assert_eq!(gripp.query(s, t), expect);
+                prop_assert_eq!(cond_tree.query(s, t), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn lcr_indexes_match_constrained_bfs(
+        (n, edges) in arb_labeled(), mask in 0u64..8
+    ) {
+        let g = LabeledGraph::from_edges(n, 3, &edges);
+        let allowed = LabelSet(mask);
+        let p2h = reachability::labeled::p2h::P2hPlus::build(&g);
+        let chen = reachability::labeled::chen::ChenIndex::build(&g);
+        for s in g.vertices() {
+            for t in g.vertices() {
+                let expect = lcr_bfs(&g, s, t, allowed);
+                prop_assert_eq!(p2h.query(s, t, allowed), expect);
+                prop_assert_eq!(chen.query(s, t, allowed), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn spls_insert_keeps_minimal_antichain(sets in proptest::collection::vec(0u64..256, 0..12)) {
+        let mut family = SplsSet::new();
+        for &bits in &sets {
+            family.insert(LabelSet(bits));
+        }
+        // every member minimal, no duplicates
+        let members = family.sets();
+        for (i, &a) in members.iter().enumerate() {
+            for (j, &b) in members.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.is_subset_of(b), "{a:?} ⊆ {b:?}");
+                }
+            }
+        }
+        // the family covers exactly what the raw sets cover
+        for &bits in &sets {
+            prop_assert!(family.dominates(LabelSet(bits)));
+        }
+    }
+
+    #[test]
+    fn spls_cross_product_is_sound_and_minimal(
+        left in proptest::collection::vec(0u64..64, 1..5),
+        right in proptest::collection::vec(0u64..64, 1..5),
+    ) {
+        let mut a = SplsSet::new();
+        for &bits in &left { a.insert(LabelSet(bits)); }
+        let mut b = SplsSet::new();
+        for &bits in &right { b.insert(LabelSet(bits)); }
+        let prod = a.cross_product(&b);
+        // every product member is a union of one member from each side
+        for &m in prod.sets() {
+            prop_assert!(
+                a.sets().iter().any(|&x| b.sets().iter().any(|&y| x.union(y) == m))
+            );
+        }
+        // every pairwise union is dominated by the product
+        for &x in a.sets() {
+            for &y in b.sets() {
+                prop_assert!(prod.dominates(x.union(y)));
+            }
+        }
+    }
+
+    #[test]
+    fn tol_updates_match_rebuild(
+        (n, edges) in arb_digraph(),
+        script in proptest::collection::vec((0usize..2, 0u32..20, 0u32..20), 1..12)
+    ) {
+        let g = DiGraph::from_edges(n, &edges);
+        let mut tol = reachability::plain::tol::Tol::build(
+            &g, reachability::plain::tol::OrderStrategy::DegreeDescending);
+        let mut current: Vec<(u32, u32)> = g.edges().map(|(a, b)| (a.0, b.0)).collect();
+        for (op, x, y) in script {
+            let u = x % n as u32;
+            let mut v = y % n as u32;
+            if v == u { v = (v + 1) % n as u32; }
+            if op == 0 {
+                tol.insert_edge(VertexId(u), VertexId(v));
+                if !current.contains(&(u, v)) { current.push((u, v)); }
+            } else {
+                tol.delete_edge(VertexId(u), VertexId(v));
+                current.retain(|&e| e != (u, v));
+            }
+        }
+        let now = DiGraph::from_edges(n, &current);
+        let tc = TransitiveClosure::build(&now);
+        for s in now.vertices() {
+            for t in now.vertices() {
+                prop_assert_eq!(tol.query(s, t), tc.reaches(s, t), "at {}->{}", s, t);
+            }
+        }
+    }
+}
