@@ -20,7 +20,9 @@ fn bench_ablation_k(c: &mut Criterion) {
     let dag = Dag::new(graph).expect("sparse shape is acyclic");
     let mix = query_mix(dag.graph(), 256, 0.3, 13);
     let mut group = c.benchmark_group("ablation_k");
-    group.sample_size(15).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(3));
 
     let run = |group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
                label: String,

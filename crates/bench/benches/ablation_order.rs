@@ -19,7 +19,9 @@ fn bench_ablation_order(c: &mut Criterion) {
     let mix = query_mix(dag.graph(), 256, 0.5, 19);
 
     let mut group = c.benchmark_group("ablation_order_build");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("TOL/degree", |b| {
         b.iter(|| black_box(Tol::build(dag.graph(), OrderStrategy::DegreeDescending)))
     });
@@ -33,10 +35,18 @@ fn bench_ablation_order(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("ablation_order_query");
-    group.sample_size(15).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(3));
     let variants: Vec<(&str, Box<dyn ReachIndex>)> = vec![
-        ("TOL/degree", Box::new(Tol::build(dag.graph(), OrderStrategy::DegreeDescending))),
-        ("TOL/by-id", Box::new(Tol::build(dag.graph(), OrderStrategy::ById))),
+        (
+            "TOL/degree",
+            Box::new(Tol::build(dag.graph(), OrderStrategy::DegreeDescending)),
+        ),
+        (
+            "TOL/by-id",
+            Box::new(Tol::build(dag.graph(), OrderStrategy::ById)),
+        ),
         ("TFL/topological", Box::new(build_tfl(&dag))),
         ("PLL/degree+pruning", Box::new(Pll::build(dag.graph()))),
     ];

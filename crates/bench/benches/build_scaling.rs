@@ -13,7 +13,9 @@ use std::time::Duration;
 
 fn bench_build_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("build_scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for n in [10_000usize, 40_000] {
         let g = Arc::new(Shape::PowerLaw.generate(n, 5));
         group.throughput(Throughput::Elements(g.num_edges() as u64));

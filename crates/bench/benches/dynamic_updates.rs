@@ -32,11 +32,18 @@ fn bench_dynamic(c: &mut Criterion) {
     let labeled = Shape::Cyclic.generate_labeled(200, 3, 25);
 
     let mut group = c.benchmark_group("dynamic_updates");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
 
     group.bench_function("TOL/insert+delete", |b| {
         b.iter_batched(
-            || (Tol::build(&base, OrderStrategy::DegreeDescending), SmallRng::seed_from_u64(1)),
+            || {
+                (
+                    Tol::build(&base, OrderStrategy::DegreeDescending),
+                    SmallRng::seed_from_u64(1),
+                )
+            },
             |(mut tol, mut rng)| {
                 for _ in 0..32 {
                     let (u, v) = random_edge(n, &mut rng);
@@ -52,7 +59,12 @@ fn bench_dynamic(c: &mut Criterion) {
 
     group.bench_function("DAGGER/insert+delete", |b| {
         b.iter_batched(
-            || (DynamicGrail::build(&dag_base, 2, 3), SmallRng::seed_from_u64(2)),
+            || {
+                (
+                    DynamicGrail::build(&dag_base, 2, 3),
+                    SmallRng::seed_from_u64(2),
+                )
+            },
             |(mut dagger, mut rng)| {
                 for _ in 0..32 {
                     // forward edges keep the stream acyclic

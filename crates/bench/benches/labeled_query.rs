@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use reach_bench::registry::{build_lcr, lcr_feasible, LCR_NAMES};
+use reach_bench::registry::{build_lcr, lcr_feasible, lcr_names};
 use reach_bench::workloads::Shape;
 use reach_graph::{Label, LabelSet, VertexId};
 use reach_labeled::online::{lcr_bfs, rlc_bfs};
@@ -31,7 +31,9 @@ fn bench_lcr_query(c: &mut Criterion) {
         .collect();
 
     let mut group = c.benchmark_group("lcr_query");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("online label-BFS", |b| {
         b.iter(|| {
             for &(s, t, allowed) in &queries {
@@ -39,12 +41,12 @@ fn bench_lcr_query(c: &mut Criterion) {
             }
         })
     });
-    for name in LCR_NAMES {
+    for name in lcr_names() {
         if !lcr_feasible(name, n) {
             continue;
         }
         let idx = build_lcr(name, &g);
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             b.iter(|| {
                 for &(s, t, allowed) in &queries {
                     black_box(idx.query(s, t, allowed));
@@ -71,7 +73,9 @@ fn bench_rlc_query(c: &mut Criterion) {
     let idx = RlcIndex::build(&g, 2);
 
     let mut group = c.benchmark_group("rlc_query");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("online product-BFS", |b| {
         b.iter(|| {
             for (s, t, unit) in &queries {

@@ -14,7 +14,9 @@ fn bench_negative_mix(c: &mut Criterion) {
     let n = 5_000;
     let g = Arc::new(Shape::Sparse.generate(n, 8));
     let mut group = c.benchmark_group("negative_mix");
-    group.sample_size(15).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(3));
     for share_negative in [10usize, 50, 90] {
         let mix = query_mix(&g, 256, 1.0 - share_negative as f64 / 100.0, 11);
         for name in ["GRAIL", "BFL", "IP", "Feline", "GRIPP", "online-BFS"] {

@@ -3,7 +3,7 @@
 //! near-linear time — the survey's §3.1/§3.3 scalability observation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use reach_bench::registry::{build_plain, plain_feasible, PLAIN_NAMES};
+use reach_bench::registry::{build_plain, plain_feasible, plain_names};
 use reach_bench::workloads::Shape;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -13,12 +13,14 @@ fn bench_plain_build(c: &mut Criterion) {
     let n = 2_000;
     let g = Arc::new(Shape::Sparse.generate(n, 42));
     let mut group = c.benchmark_group("plain_build");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
-    for name in PLAIN_NAMES {
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for name in plain_names() {
         if !plain_feasible(name, n, g.num_edges()) || name.starts_with("online") {
             continue;
         }
-        group.bench_function(*name, |b| b.iter(|| black_box(build_plain(name, &g))));
+        group.bench_function(name, |b| b.iter(|| black_box(build_plain(name, &g))));
     }
     group.finish();
 }

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use reach_bench::queries::query_mix;
-use reach_bench::registry::{build_plain, plain_feasible, PLAIN_NAMES};
+use reach_bench::registry::{build_plain, plain_feasible, plain_names};
 use reach_bench::workloads::Shape;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -14,13 +14,15 @@ fn bench_plain_query(c: &mut Criterion) {
     let g = Arc::new(Shape::Sparse.generate(n, 42));
     let mix = query_mix(&g, 512, 0.5, 7);
     let mut group = c.benchmark_group("plain_query");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
-    for name in PLAIN_NAMES {
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+    for name in plain_names() {
         if !plain_feasible(name, n, g.num_edges()) {
             continue;
         }
         let idx = build_plain(name, &g);
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             b.iter(|| {
                 let mut hits = 0usize;
                 for &(s, t) in &mix.pairs {

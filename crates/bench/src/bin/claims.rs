@@ -17,8 +17,13 @@ use std::sync::Arc;
 /// "the high computation and storage costs make TC infeasible".
 fn baseline() {
     println!("== §2.3: why indexes exist ==\n");
-    let mut table =
-        Table::new(["workload", "n", "avg visited (negative queries)", "fraction", "TC bytes (n²/8)"]);
+    let mut table = Table::new([
+        "workload",
+        "n",
+        "avg visited (negative queries)",
+        "fraction",
+        "TC bytes (n²/8)",
+    ]);
     for shape in [Shape::Sparse, Shape::Dense, Shape::PowerLaw] {
         let n = 20_000;
         let g = shape.generate(n, 1);
@@ -184,8 +189,15 @@ fn parallel() {
     println!("== §5 open challenge: parallel index construction ==\n");
     let n = 200_000;
     let dag = Dag::new(Shape::PowerLaw.generate(n, 9)).expect("power-law is acyclic");
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-    let mut table = Table::new(["technique", "sequential", &format!("parallel ({threads} threads)"), "speedup"]);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    let mut table = Table::new([
+        "technique",
+        "sequential",
+        &format!("parallel ({threads} threads)"),
+        "speedup",
+    ]);
 
     let (_, seq) = timed(|| reach_core::grail::build_grail(&dag, 8, 3));
     let (_, par) = timed(|| build_grail_parallel(&dag, 8, 3, threads));

@@ -5,7 +5,7 @@
 //! cargo run -p reach-bench --bin figure1
 //! ```
 
-use reach_bench::registry::{build_lcr, build_plain, LCR_NAMES, PLAIN_NAMES};
+use reach_bench::registry::{build_lcr, build_plain, lcr_names, plain_names};
 use reach_graph::fixtures::{
     self, label_name, vertex_name, A, B, D, FOLLOWS, FRIEND_OF, G, H, L, M, WORKS_FOR,
 };
@@ -20,29 +20,38 @@ fn main() {
     let plain = Arc::new(fixtures::figure1a());
     let labeled = Arc::new(fixtures::figure1b());
 
-    println!("Figure 1 fixtures: {} vertices, {} labeled edges", plain.num_vertices(), labeled.num_edges());
+    println!(
+        "Figure 1 fixtures: {} vertices, {} labeled edges",
+        plain.num_vertices(),
+        labeled.num_edges()
+    );
     for (u, l, v) in labeled.edges() {
-        println!("  {} -{}-> {}", vertex_name(u), label_name(l), vertex_name(v));
+        println!(
+            "  {} -{}-> {}",
+            vertex_name(u),
+            label_name(l),
+            vertex_name(v)
+        );
     }
 
     // §2.1: Qr(A,G) = true because of the s-t path (A, D, H, G)
     println!("\n§2.1  Qr(A,G) on the plain graph:");
     assert!(plain.has_edge(A, D) && plain.has_edge(D, H) && plain.has_edge(H, G));
     println!("  witness path (A, D, H, G) exists in the fixture ✓");
-    for name in PLAIN_NAMES {
+    for name in plain_names() {
         let idx = build_plain(name, &plain);
         assert!(idx.query(A, G), "{name}");
     }
-    println!("  all {} plain indexes answer true ✓", PLAIN_NAMES.len());
+    println!("  all {} plain indexes answer true ✓", plain_names().len());
 
     // §2.2: Qr(A, G, (friendOf ∪ follows)*) = false
     println!("\n§2.2  Qr(A, G, (friendOf ∪ follows)*):");
     let constraint = LabelSet::from_labels([FRIEND_OF, FOLLOWS]);
-    for name in LCR_NAMES {
+    for name in lcr_names() {
         let idx = build_lcr(name, &labeled);
         assert!(!idx.query(A, G, constraint), "{name}");
     }
-    println!("  all {} LCR indexes answer false ✓", LCR_NAMES.len());
+    println!("  all {} LCR indexes answer false ✓", lcr_names().len());
 
     // §4.1: SPLS examples
     println!("\n§4.1  sufficient path-label sets:");

@@ -8,10 +8,11 @@
 //! ```
 
 use reach_bench::queries::query_mix;
-use reach_bench::registry::{build_plain, plain_feasible, PLAIN_NAMES};
+use reach_bench::registry::{build_plain_with_report, plain_feasible, plain_names, BuildOpts};
 use reach_bench::report::{fmt_bytes, fmt_duration, timed, Table};
 use reach_bench::workloads::Shape;
 use reach_core::{Completeness, Dynamism, Framework, InputClass};
+use reach_graph::PreparedGraph;
 use std::sync::Arc;
 
 fn framework_name(f: Framework) -> &'static str {
@@ -26,8 +27,14 @@ fn framework_name(f: Framework) -> &'static str {
 
 fn print_matrix() {
     println!("Table 1: plain reachability indexes (implemented taxonomy)\n");
-    let mut table = Table::new(["Indexing Technique", "Framework", "Index Type", "Input", "Dynamic"]);
-    for name in PLAIN_NAMES {
+    let mut table = Table::new([
+        "Indexing Technique",
+        "Framework",
+        "Index Type",
+        "Input",
+        "Dynamic",
+    ]);
+    for name in plain_names() {
         if name.starts_with("online") {
             continue;
         }
@@ -59,6 +66,7 @@ fn print_matrix() {
 }
 
 fn empirical(n: usize) {
+    let opts = BuildOpts::default();
     for shape in [Shape::Sparse, Shape::Dense, Shape::PowerLaw, Shape::Cyclic] {
         let g = Arc::new(shape.generate(n, 42));
         let mix = query_mix(&g, 2_000, 0.5, 7);
@@ -70,15 +78,33 @@ fn empirical(n: usize) {
             mix.pairs.len(),
             mix.positives
         );
-        let mut table =
-            Table::new(["Technique", "Build", "Entries", "Bytes", "Query(total)", "Query(avg)"]);
-        for name in PLAIN_NAMES {
+        // one PreparedGraph per workload: the whole sweep condenses once
+        let prepared = PreparedGraph::new_shared(Arc::clone(&g));
+        let mut table = Table::new([
+            "Technique",
+            "Build",
+            "Condense",
+            "Label",
+            "Entries",
+            "Bytes",
+            "Query(total)",
+            "Query(avg)",
+        ]);
+        for name in plain_names() {
             if !plain_feasible(name, g.num_vertices(), g.num_edges()) {
-                table.row([name.to_string(), "(skipped: infeasible at this size)".into(),
-                    String::new(), String::new(), String::new(), String::new()]);
+                table.row([
+                    name.to_string(),
+                    "(skipped: infeasible at this size)".into(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ]);
                 continue;
             }
-            let (idx, build) = timed(|| build_plain(name, &g));
+            let (idx, report) = build_plain_with_report(name, &prepared, &opts);
             let (hits, q) = timed(|| {
                 let mut hits = 0usize;
                 for &(s, t) in &mix.pairs {
@@ -91,7 +117,13 @@ fn empirical(n: usize) {
             assert_eq!(hits, mix.positives, "{name} answered a query wrongly");
             table.row([
                 name.to_string(),
-                fmt_duration(build),
+                fmt_duration(report.total),
+                if report.reused_condensation() {
+                    "shared".to_string()
+                } else {
+                    fmt_duration(report.condense + report.order)
+                },
+                fmt_duration(report.label),
                 idx.size_entries().to_string(),
                 fmt_bytes(idx.size_bytes()),
                 fmt_duration(q),
@@ -99,6 +131,10 @@ fn empirical(n: usize) {
             ]);
         }
         println!("{}", table.render());
+        assert!(
+            prepared.condensation_runs() <= 1,
+            "the sweep must share one condensation"
+        );
     }
 }
 

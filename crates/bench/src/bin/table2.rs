@@ -9,7 +9,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use reach_bench::registry::{build_lcr, lcr_feasible, LCR_NAMES};
+use reach_bench::registry::{build_lcr, lcr_feasible, lcr_names};
 use reach_bench::report::{fmt_bytes, fmt_duration, timed, Table};
 use reach_bench::workloads::Shape;
 use reach_core::index::{Completeness, Dynamism, InputClass};
@@ -38,7 +38,7 @@ fn print_matrix() {
         "Input",
         "Dynamic",
     ]);
-    let mut metas: Vec<reach_labeled::LabeledIndexMeta> = LCR_NAMES
+    let mut metas: Vec<reach_labeled::LabeledIndexMeta> = lcr_names()
         .iter()
         .filter(|&&n| n != "GTC")
         .map(|name| build_lcr(name, &g).meta())
@@ -114,8 +114,14 @@ fn empirical(n: usize) {
             queries.len(),
             positives
         );
-        let mut table =
-            Table::new(["Technique", "Build", "Entries", "Bytes", "Query(total)", "Query(avg)"]);
+        let mut table = Table::new([
+            "Technique",
+            "Build",
+            "Entries",
+            "Bytes",
+            "Query(total)",
+            "Query(avg)",
+        ]);
         // the online baseline first
         let (_, online_total) = timed(|| {
             for &(s, t, allowed) in &queries {
@@ -130,10 +136,16 @@ fn empirical(n: usize) {
             fmt_duration(online_total),
             fmt_duration(online_total / queries.len() as u32),
         ]);
-        for name in LCR_NAMES {
+        for name in lcr_names() {
             if !lcr_feasible(name, n) {
-                table.row([name.to_string(), "(skipped: infeasible at this size)".into(),
-                    String::new(), String::new(), String::new(), String::new()]);
+                table.row([
+                    name.to_string(),
+                    "(skipped: infeasible at this size)".into(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ]);
                 continue;
             }
             let (idx, build) = timed(|| build_lcr(name, &g));
@@ -197,8 +209,14 @@ fn empirical(n: usize) {
             .collect::<Vec<bool>>()
     });
     assert_eq!(answers, expected, "RLC index answered a query wrongly");
-    let mut table =
-        Table::new(["Technique", "Build", "Entries", "Bytes", "Query(total)", "Query(avg)"]);
+    let mut table = Table::new([
+        "Technique",
+        "Build",
+        "Entries",
+        "Bytes",
+        "Query(total)",
+        "Query(avg)",
+    ]);
     table.row([
         "online product-BFS".into(),
         "-".to_string(),

@@ -24,12 +24,7 @@ pub struct QueryMix {
 /// `positive_share` are reachable. Classification uses BFS, so this is
 /// for setup, not timing. Gives up gracefully (returns fewer pairs) if
 /// the graph cannot supply enough pairs of one kind.
-pub fn query_mix(
-    g: &DiGraph,
-    count: usize,
-    positive_share: f64,
-    seed: u64,
-) -> QueryMix {
+pub fn query_mix(g: &DiGraph, count: usize, positive_share: f64, seed: u64) -> QueryMix {
     assert!((0.0..=1.0).contains(&positive_share));
     let n = g.num_vertices();
     assert!(n >= 2, "need at least two vertices");
@@ -92,8 +87,11 @@ mod tests {
         let g = Shape::Cyclic.generate(150, 6);
         let mix = query_mix(&g, 100, 0.5, 3);
         let mut vm = VisitMap::new(g.num_vertices());
-        let actual =
-            mix.pairs.iter().filter(|&&(s, t)| bfs_reaches(&g, s, t, &mut vm)).count();
+        let actual = mix
+            .pairs
+            .iter()
+            .filter(|&&(s, t)| bfs_reaches(&g, s, t, &mut vm))
+            .count();
         assert_eq!(actual, mix.positives);
     }
 

@@ -1,215 +1,41 @@
 //! Uniform construction of every index in the workspace.
 //!
-//! The harness builds indexes behind trait objects so that one loop
-//! can regenerate a whole table row-by-row. DAG-only techniques are
-//! lifted to general graphs with [`Condensed`], exactly as §3.1
+//! This module is a thin façade over the first-class builder registries
+//! in `reach-core` (plain indexes, [`PLAIN_REGISTRY`]) and
+//! `reach-labeled` (LCR indexes, [`LCR_REGISTRY`]): one table per
+//! family, shared by the bench harness and the CLI, dispatching every
+//! build through the memoized [`PreparedGraph`] artifacts so a full
+//! sweep condenses each input graph exactly once. DAG-only techniques
+//! are lifted to general graphs with `Condensed`, exactly as §3.1
 //! prescribes, so every entry accepts an arbitrary digraph.
 
-use reach_core::bfl::build_bfl_shared;
-use reach_core::chain_cover::ChainCover;
-use reach_core::dagger::DynamicGrail;
-use reach_core::dbl::Dbl;
-use reach_core::dual_labeling::DualLabeling;
-use reach_core::feline::build_feline_shared;
-use reach_core::ferrari::build_ferrari_shared;
-use reach_core::grail::build_grail_shared;
-use reach_core::gripp::Gripp;
-use reach_core::hl::Hl;
-use reach_core::hop2::Hop2;
-use reach_core::ip::build_ip_shared;
-use reach_core::online::{OnlineSearch, Strategy};
-use reach_core::oreach::build_oreach_shared;
-use reach_core::pll::Pll;
-use reach_core::preach::Preach;
-use reach_core::sspi::TreeSspi;
-use reach_core::tol::{build_dl, build_tfl, Tol, OrderStrategy};
-use reach_core::tree_cover::TreeCover;
-use reach_core::{Condensed, ReachIndex, TransitiveClosure};
-use reach_graph::{Dag, DiGraph, LabeledGraph};
-use reach_labeled::chen::ChenIndex;
-use reach_labeled::dlcr::Dlcr;
-use reach_labeled::gtc::GtcIndex;
-use reach_labeled::jin::JinIndex;
-use reach_labeled::landmark::LandmarkIndex;
-use reach_labeled::p2h::P2hPlus;
-use reach_labeled::zou::ZouIndex;
+use reach_core::ReachIndex;
+use reach_graph::{DiGraph, LabeledGraph, PreparedGraph};
 use reach_labeled::LcrIndex;
 use std::sync::Arc;
 
-/// Default parameters used when a technique needs one (GRAIL trees,
-/// Ferrari budget, IP permutations, BFL bits, landmark counts).
-/// The ablation benches sweep these; the tables use the defaults.
-pub mod defaults {
-    /// GRAIL / DAGGER labelings.
-    pub const GRAIL_K: usize = 3;
-    /// Ferrari per-vertex interval budget.
-    pub const FERRARI_BUDGET: usize = 4;
-    /// IP k-min-wise label size.
-    pub const IP_K: usize = 8;
-    /// BFL Bloom buckets.
-    pub const BFL_BITS: usize = 256;
-    /// O'Reach supportive vertices.
-    pub const OREACH_K: usize = 16;
-    /// HL / landmark-index landmarks.
-    pub const LANDMARKS: usize = 16;
-    /// Deterministic seed for randomized index construction.
-    pub const SEED: u64 = 0xC0FFEE;
-}
+pub use reach_core::pipeline::{
+    build_plain_prepared, build_plain_with_report, build_with_report, defaults, plain_feasible,
+    plain_names, plain_native_meta, plain_spec, BuildOpts, BuildReport, PlainSpec, PLAIN_REGISTRY,
+};
+pub use reach_labeled::pipeline::{
+    build_lcr as build_lcr_with_opts, lcr_feasible, lcr_names, lcr_spec, LcrSpec, LCR_REGISTRY,
+};
 
-/// Every plain technique the harness can build, in Table-1 order.
-pub const PLAIN_NAMES: &[&str] = &[
-    "Tree cover",
-    "Tree+SSPI",
-    "Dual labeling",
-    "GRIPP",
-    "Chain cover",
-    "GRAIL",
-    "Ferrari",
-    "DAGGER",
-    "2-Hop",
-    "PLL",
-    "TFL",
-    "DL",
-    "TOL",
-    "DBL",
-    "O'Reach",
-    "IP",
-    "BFL",
-    "HL",
-    "Feline",
-    "PReaCH",
-    "TC",
-    "online-BFS",
-    "online-DFS",
-    "online-BiBFS",
-];
-
-/// Whether building `name` on a graph with `n` vertices and `m` edges
-/// is practical — the quadratic/greedy baselines are skipped on large
-/// inputs (which is itself one of the survey's observations).
-pub fn plain_feasible(name: &str, n: usize, m: usize) -> bool {
-    match name {
-        "2-Hop" => n <= 400,
-        "TC" => n <= 20_000,
-        // the link table is quadratic in the non-tree edge count; the
-        // technique targets almost-tree data (§3.1)
-        "Dual labeling" => m.saturating_sub(n) <= 4_000,
-        "Chain cover" => n <= 20_000,
-        _ => true,
-    }
-}
-
-/// Builds the named plain index over an arbitrary digraph (DAG-only
-/// techniques are condensed). Panics on an unknown name.
+/// Builds the named plain index over an arbitrary digraph with default
+/// options, preparing the shared artifacts on the spot. Sweeps that
+/// build several indexes over one graph should create a single
+/// [`PreparedGraph`] and use [`build_plain_prepared`] instead, so the
+/// condensation is shared. Panics on an unknown name.
 pub fn build_plain(name: &str, graph: &Arc<DiGraph>) -> Box<dyn ReachIndex> {
-    use defaults::*;
-    let g: &DiGraph = graph;
-    match name {
-        "Tree cover" => Box::new(Condensed::build(g, TreeCover::build)),
-        "Tree+SSPI" => Box::new(Condensed::build(g, TreeSspi::build)),
-        "Dual labeling" => Box::new(Condensed::build(g, DualLabeling::build)),
-        "GRIPP" => Box::new(Gripp::build(g)),
-        "Chain cover" => Box::new(Condensed::build(g, ChainCover::build)),
-        "GRAIL" => Box::new(Condensed::build(g, |dag: &Dag| {
-            build_grail_shared(Arc::new(dag.graph().clone()), dag, GRAIL_K, SEED)
-        })),
-        "Ferrari" => Box::new(Condensed::build(g, |dag: &Dag| {
-            build_ferrari_shared(Arc::new(dag.graph().clone()), dag, FERRARI_BUDGET)
-        })),
-        "DAGGER" => Box::new(Condensed::build(g, |dag: &Dag| {
-            DynamicGrail::build(dag, GRAIL_K, SEED)
-        })),
-        "2-Hop" => Box::new(Hop2::build(g)),
-        "PLL" => Box::new(Pll::build(g)),
-        "TFL" => Box::new(Condensed::build(g, build_tfl)),
-        "DL" => Box::new(build_dl(g)),
-        "TOL" => Box::new(Tol::build(g, OrderStrategy::DegreeDescending)),
-        "DBL" => Box::new(Dbl::build(g)),
-        "O'Reach" => Box::new(Condensed::build(g, |dag: &Dag| {
-            build_oreach_shared(Arc::new(dag.graph().clone()), dag, OREACH_K)
-        })),
-        "IP" => Box::new(Condensed::build(g, |dag: &Dag| {
-            build_ip_shared(Arc::new(dag.graph().clone()), dag, IP_K, SEED)
-        })),
-        "BFL" => Box::new(Condensed::build(g, |dag: &Dag| {
-            build_bfl_shared(Arc::new(dag.graph().clone()), dag, BFL_BITS, SEED)
-        })),
-        "HL" => Box::new(Condensed::build(g, |dag: &Dag| Hl::build(dag, LANDMARKS))),
-        "Feline" => Box::new(Condensed::build(g, |dag: &Dag| {
-            build_feline_shared(Arc::new(dag.graph().clone()), dag)
-        })),
-        "PReaCH" => Box::new(Condensed::build(g, |dag: &Dag| Preach::build(dag))),
-        "TC" => Box::new(TransitiveClosure::build(g)),
-        "online-BFS" => Box::new(OnlineSearch::new(graph.clone(), Strategy::Bfs)),
-        "online-DFS" => Box::new(OnlineSearch::new(graph.clone(), Strategy::Dfs)),
-        "online-BiBFS" => Box::new(OnlineSearch::new(graph.clone(), Strategy::BiBfs)),
-        other => panic!("unknown plain index {other:?}"),
-    }
+    let prepared = PreparedGraph::new_shared(Arc::clone(graph));
+    build_plain_prepared(name, &prepared, &BuildOpts::default())
 }
 
-/// The *native* classification of a plain technique — built on the
-/// Figure-1 DAG without the [`Condensed`] adapter, so the `input`
-/// column reports what the technique itself assumes (the paper's
-/// Table-1 view), not what the adapted artifact accepts.
-pub fn plain_native_meta(name: &str) -> reach_core::IndexMeta {
-    use defaults::*;
-    use reach_graph::fixtures;
-    let g = fixtures::figure1a();
-    let dag = Dag::new(g.clone()).expect("figure 1 is acyclic");
-    let shared = Arc::new(g.clone());
-    match name {
-        "Tree cover" => TreeCover::build(&dag).meta(),
-        "Tree+SSPI" => TreeSspi::build(&dag).meta(),
-        "Dual labeling" => DualLabeling::build(&dag).meta(),
-        "Chain cover" => ChainCover::build(&dag).meta(),
-        "GRAIL" => build_grail_shared(shared, &dag, GRAIL_K, SEED).meta(),
-        "Ferrari" => build_ferrari_shared(shared, &dag, FERRARI_BUDGET).meta(),
-        "DAGGER" => DynamicGrail::build(&dag, GRAIL_K, SEED).meta(),
-        "TFL" => build_tfl(&dag).meta(),
-        "O'Reach" => build_oreach_shared(shared, &dag, OREACH_K).meta(),
-        "IP" => build_ip_shared(shared, &dag, IP_K, SEED).meta(),
-        "BFL" => build_bfl_shared(shared, &dag, BFL_BITS, SEED).meta(),
-        "HL" => Hl::build(&dag, LANDMARKS).meta(),
-        "Feline" => build_feline_shared(shared, &dag).meta(),
-        "PReaCH" => Preach::build(&dag).meta(),
-        other => build_plain(other, &shared).meta(),
-    }
-}
-
-/// Every alternation-based (LCR) technique, in Table-2 order.
-pub const LCR_NAMES: &[&str] = &[
-    "Jin et al.",
-    "Chen et al.",
-    "Zou et al.",
-    "Landmark index",
-    "P2H+",
-    "DLCR",
-    "GTC",
-];
-
-/// Whether building the named LCR index is practical at size `n`.
-pub fn lcr_feasible(name: &str, n: usize) -> bool {
-    match name {
-        "GTC" | "Zou et al." => n <= 2_000,
-        "Jin et al." => n <= 5_000,
-        _ => true,
-    }
-}
-
-/// Builds the named LCR index. Panics on an unknown name.
+/// Builds the named LCR index with default options. Panics on an
+/// unknown name.
 pub fn build_lcr(name: &str, graph: &Arc<LabeledGraph>) -> Box<dyn LcrIndex> {
-    match name {
-        "Jin et al." => Box::new(JinIndex::build(graph)),
-        "Chen et al." => Box::new(ChenIndex::build(graph)),
-        "Zou et al." => Box::new(ZouIndex::build(graph)),
-        "Landmark index" => {
-            Box::new(LandmarkIndex::build(graph.clone(), defaults::LANDMARKS))
-        }
-        "P2H+" => Box::new(P2hPlus::build(graph)),
-        "DLCR" => Box::new(Dlcr::build(graph)),
-        "GTC" => Box::new(GtcIndex::build(graph)),
-        other => panic!("unknown LCR index {other:?}"),
-    }
+    build_lcr_with_opts(name, graph, &BuildOpts::default())
 }
 
 #[cfg(test)]
@@ -220,7 +46,7 @@ mod tests {
     #[test]
     fn every_plain_entry_builds_and_answers_figure1() {
         let g = Arc::new(fixtures::figure1a());
-        for name in PLAIN_NAMES {
+        for name in plain_names() {
             let idx = build_plain(name, &g);
             assert!(idx.query(fixtures::A, fixtures::G), "{name}: Qr(A,G)");
             assert!(!idx.query(fixtures::B, fixtures::A), "{name}: Qr(B,A)");
@@ -231,9 +57,8 @@ mod tests {
     fn every_lcr_entry_builds_and_answers_figure1() {
         use reach_graph::LabelSet;
         let g = Arc::new(fixtures::figure1b());
-        let no_works_for =
-            LabelSet::from_labels([fixtures::FRIEND_OF, fixtures::FOLLOWS]);
-        for name in LCR_NAMES {
+        let no_works_for = LabelSet::from_labels([fixtures::FRIEND_OF, fixtures::FOLLOWS]);
+        for name in lcr_names() {
             let idx = build_lcr(name, &g);
             assert!(
                 !idx.query(fixtures::A, fixtures::G, no_works_for),
@@ -249,14 +74,31 @@ mod tests {
     #[test]
     fn names_and_metas_are_consistent() {
         let g = Arc::new(fixtures::figure1a());
-        for name in PLAIN_NAMES {
+        for name in plain_names() {
             let idx = build_plain(name, &g);
-            assert_eq!(&idx.meta().name, name);
+            assert_eq!(idx.meta().name, name);
         }
         let lg = Arc::new(fixtures::figure1b());
-        for name in LCR_NAMES {
+        for name in lcr_names() {
             let idx = build_lcr(name, &lg);
-            assert_eq!(&idx.meta().name, name);
+            assert_eq!(idx.meta().name, name);
         }
+    }
+
+    #[test]
+    fn prepared_sweep_shares_one_condensation() {
+        // general graph with cycles, so the condensation is non-trivial
+        let g = Arc::new(DiGraph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
+        ));
+        let prepared = PreparedGraph::new_shared(Arc::clone(&g));
+        let opts = BuildOpts::default();
+        for name in plain_names() {
+            if plain_feasible(name, g.num_vertices(), g.num_edges()) {
+                let _ = build_plain_prepared(name, &prepared, &opts);
+            }
+        }
+        assert_eq!(prepared.condensation_runs(), 1);
     }
 }

@@ -1,6 +1,7 @@
 //! Fixed-width table printing and timing helpers for the report
 //! binaries.
 
+use reach_core::BuildReport;
 use std::time::{Duration, Instant};
 
 /// Runs `f`, returning its result and the elapsed wall-clock time.
@@ -22,7 +23,10 @@ impl Table {
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
         let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
         assert!(!headers.is_empty(), "a table needs at least one column");
-        Table { headers, rows: Vec::new() }
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header count).
@@ -83,6 +87,29 @@ pub fn fmt_duration(d: Duration) -> String {
     }
 }
 
+/// One-line rendering of a [`BuildReport`]: per-phase wall time
+/// (condense / order / label) plus index size. Phases charged to an
+/// earlier build on the same prepared graph render as "shared".
+pub fn fmt_build_report(r: &BuildReport) -> String {
+    let preprocess = if r.reused_condensation() {
+        "condense shared".to_string()
+    } else {
+        format!(
+            "condense {} + order {}",
+            fmt_duration(r.condense),
+            fmt_duration(r.order)
+        )
+    };
+    format!(
+        "{}: total {} ({preprocess}, label {}), {} / {} entries",
+        r.name,
+        fmt_duration(r.total),
+        fmt_duration(r.label),
+        fmt_bytes(r.size_bytes),
+        r.size_entries,
+    )
+}
+
 /// Human-readable byte count.
 pub fn fmt_bytes(b: usize) -> String {
     if b < 1 << 10 {
@@ -137,5 +164,26 @@ mod tests {
         let (x, d) = timed(|| 2 + 2);
         assert_eq!(x, 4);
         assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn build_report_renders_phases_and_sharing() {
+        let mut r = BuildReport {
+            name: "GRAIL",
+            condense: Duration::from_micros(500),
+            order: Duration::from_micros(100),
+            label: Duration::from_micros(400),
+            total: Duration::from_micros(1_000),
+            size_bytes: 2048,
+            size_entries: 64,
+        };
+        let line = fmt_build_report(&r);
+        assert!(line.contains("GRAIL"));
+        assert!(line.contains("condense 500.0µs"));
+        assert!(line.contains("order 100.0µs"));
+        assert!(line.contains("2.0KiB"));
+        r.condense = Duration::ZERO;
+        r.order = Duration::ZERO;
+        assert!(fmt_build_report(&r).contains("condense shared"));
     }
 }

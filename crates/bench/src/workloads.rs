@@ -7,8 +7,8 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use reach_graph::generators::{
-    label_edges, layered_dag, power_law_dag, random_dag, random_digraph,
-    random_tree_plus_edges, LabelDistribution,
+    label_edges, layered_dag, power_law_dag, random_dag, random_digraph, random_tree_plus_edges,
+    LabelDistribution,
 };
 use reach_graph::{DiGraph, LabeledGraph};
 
@@ -64,9 +64,7 @@ impl Shape {
                 layered_dag(layers, width, 3, &mut rng).into_graph()
             }
             Shape::PowerLaw => power_law_dag(n, 3, &mut rng).into_graph(),
-            Shape::TreeLike => {
-                random_tree_plus_edges(n, n / 50, &mut rng).into_graph()
-            }
+            Shape::TreeLike => random_tree_plus_edges(n, n / 50, &mut rng).into_graph(),
             Shape::Cyclic => random_digraph(n, 4 * n, &mut rng),
         }
     }

@@ -19,12 +19,12 @@
 
 use reach_bench::queries::query_mix;
 use reach_bench::registry::{
-    build_lcr, build_plain, plain_feasible, plain_native_meta, LCR_NAMES, PLAIN_NAMES,
+    build_lcr, build_plain_with_report, lcr_names, plain_feasible, plain_names, plain_native_meta,
+    BuildOpts,
 };
-use reach_bench::report::{fmt_bytes, fmt_duration, timed, Table};
+use reach_bench::report::{fmt_build_report, fmt_bytes, fmt_duration, timed, Table};
 use reach_bench::workloads::{Shape, ALL_SHAPES};
-use reach_graph::stats::graph_stats;
-use reach_graph::{io, DiGraph, LabeledGraph, VertexId};
+use reach_graph::{io, DiGraph, LabeledGraph, PreparedGraph, VertexId};
 use reach_labeled::rlc::RlcIndex;
 use reach_labeled::{ConstraintKind, RlcIndexApi};
 use std::fmt;
@@ -64,8 +64,8 @@ pub enum LoadedGraph {
 /// Loads an edge-list file, detecting the labeled variant from the
 /// two-token header.
 pub fn load_graph(path: &str) -> Result<LoadedGraph, CliError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
     let header = text
         .lines()
         .map(str::trim)
@@ -114,11 +114,14 @@ fn render_witness(w: &reach_labeled::Witness) -> String {
 fn cmd_witness(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     use reach_labeled::witness::{lcr_witness, rlc_witness, rpq_witness};
     let flags = parse_flags(args)?;
-    let (path, pairs_tokens) = flags.rest.split_first().ok_or_else(|| {
-        err("usage: witness <labeled-graph> --constraint EXPR <s> <t> [...]")
-    })?;
+    let (path, pairs_tokens) = flags
+        .rest
+        .split_first()
+        .ok_or_else(|| err("usage: witness <labeled-graph> --constraint EXPR <s> <t> [...]"))?;
     let LoadedGraph::Labeled(g) = load_graph(path)? else {
-        return Err(err(format!("{path} is a plain graph; witness needs a labeled one")));
+        return Err(err(format!(
+            "{path} is a plain graph; witness needs a labeled one"
+        )));
     };
     let expr = flags.constraint.as_deref().unwrap_or("");
     let alphabet: Vec<&str> = flags.alphabet.iter().map(String::as_str).collect();
@@ -192,7 +195,10 @@ fn cmd_gen(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         match args[i].as_str() {
             "--seed" => {
                 i += 1;
-                seed = parse_num(args.get(i).ok_or_else(|| err("--seed needs a value"))?, "seed")?;
+                seed = parse_num(
+                    args.get(i).ok_or_else(|| err("--seed needs a value"))?,
+                    "seed",
+                )?;
             }
             "--labels" => {
                 i += 1;
@@ -203,14 +209,20 @@ fn cmd_gen(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             }
             "--out" => {
                 i += 1;
-                path = Some(args.get(i).ok_or_else(|| err("--out needs a value"))?.clone());
+                path = Some(
+                    args.get(i)
+                        .ok_or_else(|| err("--out needs a value"))?
+                        .clone(),
+                );
             }
             other => pos.push(other.to_string()),
         }
         i += 1;
     }
     let [shape, n] = pos.as_slice() else {
-        return Err(err("usage: gen <shape> <n> [--seed S] [--labels K] [--out FILE]"));
+        return Err(err(
+            "usage: gen <shape> <n> [--seed S] [--labels K] [--out FILE]",
+        ));
     };
     let shape = parse_shape(shape)?;
     let n: usize = parse_num(n, "vertex count")?;
@@ -240,11 +252,10 @@ fn cmd_stats(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     };
     let (g, labels) = match load_graph(path)? {
         LoadedGraph::Plain(g) => (g, None),
-        LoadedGraph::Labeled(lg) => {
-            (Arc::new(lg.to_digraph()), Some(lg.num_labels()))
-        }
+        LoadedGraph::Labeled(lg) => (Arc::new(lg.to_digraph()), Some(lg.num_labels())),
     };
-    let s = graph_stats(&g);
+    let prepared = PreparedGraph::new_shared(g);
+    let s = prepared.stats();
     writeln!(out, "{path}:")?;
     writeln!(out, "  vertices        {}", s.num_vertices)?;
     writeln!(out, "  edges           {}", s.num_edges)?;
@@ -253,10 +264,17 @@ fn cmd_stats(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     }
     writeln!(out, "  avg degree      {:.2}", s.avg_degree)?;
     writeln!(out, "  max degree      {}", s.max_degree)?;
-    writeln!(out, "  SCCs            {} (largest {})", s.num_sccs, s.largest_scc)?;
+    writeln!(
+        out,
+        "  SCCs            {} (largest {})",
+        s.num_sccs, s.largest_scc
+    )?;
     match s.depth {
         Some(d) => writeln!(out, "  depth (DAG)     {d}")?,
-        None => writeln!(out, "  depth           cyclic (condense first for DAG indexes)")?,
+        None => writeln!(
+            out,
+            "  depth           cyclic (condense first for DAG indexes)"
+        )?,
     }
     writeln!(out, "  sources/sinks   {}/{}", s.num_sources, s.num_sinks)?;
     Ok(())
@@ -264,7 +282,7 @@ fn cmd_stats(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 
 fn cmd_indexes(out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "plain reachability indexes (Table 1):")?;
-    for name in PLAIN_NAMES {
+    for name in plain_names() {
         if name.starts_with("online") {
             continue;
         }
@@ -275,9 +293,16 @@ fn cmd_indexes(out: &mut dyn Write) -> Result<(), CliError> {
             m.name, m.framework, m.completeness, m.input, m.dynamism
         )?;
     }
-    writeln!(out, "\npath-constrained indexes (Table 2): {}", LCR_NAMES.join(", "))?;
+    writeln!(
+        out,
+        "\npath-constrained indexes (Table 2): {}",
+        lcr_names().join(", ")
+    )?;
     writeln!(out, "  plus: RLC index (concatenation constraints)")?;
-    writeln!(out, "\nonline baselines: online-BFS, online-DFS, online-BiBFS")?;
+    writeln!(
+        out,
+        "\nonline baselines: online-BFS, online-DFS, online-BiBFS"
+    )?;
     Ok(())
 }
 
@@ -304,13 +329,19 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         match args[i].as_str() {
             "--index" => {
                 i += 1;
-                f.indexes
-                    .push(args.get(i).ok_or_else(|| err("--index needs a value"))?.clone());
+                f.indexes.push(
+                    args.get(i)
+                        .ok_or_else(|| err("--index needs a value"))?
+                        .clone(),
+                );
             }
             "--constraint" => {
                 i += 1;
-                f.constraint =
-                    Some(args.get(i).ok_or_else(|| err("--constraint needs a value"))?.clone());
+                f.constraint = Some(
+                    args.get(i)
+                        .ok_or_else(|| err("--constraint needs a value"))?
+                        .clone(),
+                );
             }
             "--alphabet" => {
                 i += 1;
@@ -369,17 +400,16 @@ fn cmd_query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         LoadedGraph::Plain(g) => g,
         LoadedGraph::Labeled(lg) => Arc::new(lg.to_digraph()),
     };
-    let name = flags
-        .indexes
-        .first()
-        .map(String::as_str)
-        .unwrap_or("BFL");
-    if !PLAIN_NAMES.contains(&name) {
-        return Err(err(format!("unknown plain index {name:?} (see `reach indexes`)")));
+    let name = flags.indexes.first().map(String::as_str).unwrap_or("BFL");
+    if !plain_names().contains(&name) {
+        return Err(err(format!(
+            "unknown plain index {name:?} (see `reach indexes`)"
+        )));
     }
     let pairs = parse_pairs(pairs_tokens, g.num_vertices())?;
-    let (idx, build) = timed(|| build_plain(name, &g));
-    writeln!(out, "built {} in {}", name, fmt_duration(build))?;
+    let prepared = PreparedGraph::new_shared(g);
+    let (idx, report) = build_plain_with_report(name, &prepared, &BuildOpts::default());
+    writeln!(out, "built {}", fmt_build_report(&report))?;
     for (s, t) in pairs {
         let (answer, t_q) = timed(|| idx.query(s, t));
         writeln!(out, "Qr({s}, {t}) = {answer}   [{}]", fmt_duration(t_q))?;
@@ -389,11 +419,14 @@ fn cmd_query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 
 fn cmd_lcr(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let flags = parse_flags(args)?;
-    let (path, pairs_tokens) = flags.rest.split_first().ok_or_else(|| {
-        err("usage: lcr <graph> --index NAME --constraint EXPR <s> <t> [...]")
-    })?;
+    let (path, pairs_tokens) = flags
+        .rest
+        .split_first()
+        .ok_or_else(|| err("usage: lcr <graph> --index NAME --constraint EXPR <s> <t> [...]"))?;
     let LoadedGraph::Labeled(g) = load_graph(path)? else {
-        return Err(err(format!("{path} is a plain graph; lcr needs a labeled one")));
+        return Err(err(format!(
+            "{path} is a plain graph; lcr needs a labeled one"
+        )));
     };
     let expr = flags
         .constraint
@@ -406,11 +439,15 @@ fn cmd_lcr(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     match ast.classify() {
         ConstraintKind::Alternation(allowed) => {
             let name = flags.indexes.first().map(String::as_str).unwrap_or("P2H+");
-            if !LCR_NAMES.contains(&name) {
+            if !lcr_names().contains(&name) {
                 return Err(err(format!("unknown LCR index {name:?}")));
             }
             let (idx, build) = timed(|| build_lcr(name, &g));
-            writeln!(out, "constraint is an alternation {allowed:?}; built {name} in {}", fmt_duration(build))?;
+            writeln!(
+                out,
+                "constraint is an alternation {allowed:?}; built {name} in {}",
+                fmt_duration(build)
+            )?;
             for (s, t) in pairs {
                 writeln!(out, "Qr({s}, {t}, {expr}) = {}", idx.query(s, t, allowed))?;
             }
@@ -450,7 +487,9 @@ fn cmd_lcr(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 fn cmd_bench(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let flags = parse_flags(args)?;
     let [path] = flags.rest.as_slice() else {
-        return Err(err("usage: bench <graph> [--index NAME ...] [--queries N] [--positive P]"));
+        return Err(err(
+            "usage: bench <graph> [--index NAME ...] [--queries N] [--positive P]",
+        ));
     };
     let g = match load_graph(path)? {
         LoadedGraph::Plain(g) => g,
@@ -461,8 +500,9 @@ fn cmd_bench(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     } else {
         flags.indexes.iter().map(String::as_str).collect()
     };
+    let known = plain_names();
     for name in &names {
-        if !PLAIN_NAMES.contains(name) {
+        if !known.contains(name) {
             return Err(err(format!("unknown plain index {name:?}")));
         }
     }
@@ -476,21 +516,46 @@ fn cmd_bench(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         mix.pairs.len(),
         mix.positives
     )?;
-    let mut table = Table::new(["index", "build", "entries", "bytes", "query total", "query avg"]);
+    // one PreparedGraph for the whole run: every index shares the
+    // condensation, and the "condense" column shows who paid for it
+    let prepared = PreparedGraph::new_shared(Arc::clone(&g));
+    let opts = BuildOpts::default();
+    let mut table = Table::new([
+        "index",
+        "build",
+        "condense",
+        "label",
+        "entries",
+        "bytes",
+        "query total",
+        "query avg",
+    ]);
     for name in names {
         if !plain_feasible(name, g.num_vertices(), g.num_edges()) {
-            table.row([name.to_string(), "(infeasible at this size)".into(),
-                String::new(), String::new(), String::new(), String::new()]);
+            table.row([
+                name.to_string(),
+                "(infeasible at this size)".into(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]);
             continue;
         }
-        let (idx, build) = timed(|| build_plain(name, &g));
-        let (hits, q) = timed(|| {
-            mix.pairs.iter().filter(|&&(s, t)| idx.query(s, t)).count()
-        });
+        let (idx, report) = build_plain_with_report(name, &prepared, &opts);
+        let (hits, q) = timed(|| mix.pairs.iter().filter(|&&(s, t)| idx.query(s, t)).count());
         assert_eq!(hits, mix.positives, "{name} answered a query wrongly");
         table.row([
             name.to_string(),
-            fmt_duration(build),
+            fmt_duration(report.total),
+            if report.reused_condensation() {
+                "shared".to_string()
+            } else {
+                fmt_duration(report.condense + report.order)
+            },
+            fmt_duration(report.label),
             idx.size_entries().to_string(),
             fmt_bytes(idx.size_bytes()),
             fmt_duration(q),
@@ -533,13 +598,12 @@ mod tests {
     #[test]
     fn gen_stats_query_round_trip() {
         let path = tmp("g1.el");
-        let s = run_to_string(&["gen", "sparse-dag", "200", "--seed", "3", "--out", &path])
-            .unwrap();
+        let s =
+            run_to_string(&["gen", "sparse-dag", "200", "--seed", "3", "--out", &path]).unwrap();
         assert!(s.contains("wrote"));
         let s = run_to_string(&["stats", &path]).unwrap();
         assert!(s.contains("vertices        200"), "{s}");
-        let s = run_to_string(&["query", &path, "--index", "BFL", "0", "199", "5", "5"])
-            .unwrap();
+        let s = run_to_string(&["query", &path, "--index", "BFL", "0", "199", "5", "5"]).unwrap();
         assert!(s.contains("Qr(5, 5) = true"), "{s}");
         assert!(s.contains("built BFL"));
     }
@@ -556,26 +620,35 @@ mod tests {
     fn lcr_dispatches_on_constraint_class() {
         let path = tmp("g3.el");
         run_to_string(&[
-            "gen", "sparse-dag", "80", "--labels", "3", "--seed", "9", "--out", &path,
+            "gen",
+            "sparse-dag",
+            "80",
+            "--labels",
+            "3",
+            "--seed",
+            "9",
+            "--out",
+            &path,
         ])
         .unwrap();
         // alternation → LCR index
         let s = run_to_string(&[
-            "lcr", &path, "--index", "P2H+", "--constraint", "(0|1)*", "0", "79",
+            "lcr",
+            &path,
+            "--index",
+            "P2H+",
+            "--constraint",
+            "(0|1)*",
+            "0",
+            "79",
         ])
         .unwrap();
         assert!(s.contains("alternation"), "{s}");
         // concatenation → RLC index
-        let s = run_to_string(&[
-            "lcr", &path, "--constraint", "(0.1)*", "0", "79",
-        ])
-        .unwrap();
+        let s = run_to_string(&["lcr", &path, "--constraint", "(0.1)*", "0", "79"]).unwrap();
         assert!(s.contains("concatenation"), "{s}");
         // general → automaton
-        let s = run_to_string(&[
-            "lcr", &path, "--constraint", "0*.1", "0", "79",
-        ])
-        .unwrap();
+        let s = run_to_string(&["lcr", &path, "--constraint", "0*.1", "0", "79"]).unwrap();
         assert!(s.contains("automaton-guided"), "{s}");
     }
 
@@ -587,8 +660,14 @@ mod tests {
         ])
         .unwrap();
         let s = run_to_string(&[
-            "lcr", &path, "--alphabet", "friendOf,follows,worksFor",
-            "--constraint", "(friendOf ∪ follows)*", "0", "59",
+            "lcr",
+            &path,
+            "--alphabet",
+            "friendOf,follows,worksFor",
+            "--constraint",
+            "(friendOf ∪ follows)*",
+            "0",
+            "59",
         ])
         .unwrap();
         assert!(s.contains("Qr(0, 59"), "{s}");
@@ -599,7 +678,14 @@ mod tests {
         let path = tmp("g5.el");
         run_to_string(&["gen", "power-law", "300", "--out", &path]).unwrap();
         let s = run_to_string(&[
-            "bench", &path, "--index", "GRAIL", "--index", "online-BFS", "--queries", "100",
+            "bench",
+            &path,
+            "--index",
+            "GRAIL",
+            "--index",
+            "online-BFS",
+            "--queries",
+            "100",
         ])
         .unwrap();
         assert!(s.contains("GRAIL") && s.contains("online-BFS"), "{s}");
@@ -614,27 +700,40 @@ mod tests {
         let path = tmp("g6.el");
         run_to_string(&["gen", "sparse-dag", "50", "--out", &path]).unwrap();
         assert!(run_to_string(&["query", &path, "--index", "NotAnIndex", "0", "1"]).is_err());
-        assert!(run_to_string(&["query", &path, "--index", "BFL", "0"]).is_err(), "odd pair");
-        assert!(run_to_string(&["query", &path, "--index", "BFL", "0", "999"]).is_err(), "oob");
-        assert!(run_to_string(&["lcr", &path, "--constraint", "(0)*", "0", "1"]).is_err(),
-            "plain graph rejected for lcr");
+        assert!(
+            run_to_string(&["query", &path, "--index", "BFL", "0"]).is_err(),
+            "odd pair"
+        );
+        assert!(
+            run_to_string(&["query", &path, "--index", "BFL", "0", "999"]).is_err(),
+            "oob"
+        );
+        assert!(
+            run_to_string(&["lcr", &path, "--constraint", "(0)*", "0", "1"]).is_err(),
+            "plain graph rejected for lcr"
+        );
     }
 
     #[test]
     fn witness_prints_paths() {
         let path = tmp("g7.el");
         run_to_string(&[
-            "gen", "sparse-dag", "60", "--labels", "2", "--seed", "5", "--out", &path,
+            "gen",
+            "sparse-dag",
+            "60",
+            "--labels",
+            "2",
+            "--seed",
+            "5",
+            "--out",
+            &path,
         ])
         .unwrap();
         // unconstrained witness: some pair must be reachable
         let s = run_to_string(&["witness", &path, "0", "59", "0", "0"]).unwrap();
         assert!(s.contains("0 ⇝ 0: 0 (empty path)"), "{s}");
         // constrained witness goes through the classifier
-        let s = run_to_string(&[
-            "witness", &path, "--constraint", "(0|1)*", "0", "59",
-        ])
-        .unwrap();
+        let s = run_to_string(&["witness", &path, "--constraint", "(0|1)*", "0", "59"]).unwrap();
         assert!(s.contains("⇝ 59"), "{s}");
         // plain graphs are rejected
         let plain = tmp("g8.el");

@@ -11,8 +11,8 @@
 
 use crate::engine::GuidedSearch;
 use crate::index::{
-    Certainty, Completeness, Dynamism, FilterGuarantees, Framework, IndexMeta,
-    InputClass, ReachFilter,
+    Certainty, Completeness, Dynamism, FilterGuarantees, Framework, IndexMeta, InputClass,
+    ReachFilter,
 };
 use crate::interval::SpanningForest;
 use reach_graph::topo::topological_levels;
@@ -94,7 +94,10 @@ fn or_rows(table: &mut [u64], dst: usize, src: usize, words: usize) {
         (&mut a[dst * words..dst * words + words], &b[..words])
     } else {
         let (a, b) = table.split_at_mut(dst * words);
-        (&mut b[..words], &a[src * words..src * words + words] as &[u64])
+        (
+            &mut b[..words],
+            &a[src * words..src * words + words] as &[u64],
+        )
     };
     for w in 0..words {
         d[w] |= s[w];
@@ -132,7 +135,10 @@ impl ReachFilter for BflFilter {
     }
 
     fn guarantees(&self) -> FilterGuarantees {
-        FilterGuarantees { definite_positive: true, definite_negative: true }
+        FilterGuarantees {
+            definite_positive: true,
+            definite_negative: true,
+        }
     }
 
     fn size_bytes(&self) -> usize {
@@ -149,7 +155,7 @@ pub type Bfl = GuidedSearch<BflFilter>;
 
 /// Builds BFL with `bits`-bucket Bloom labels.
 pub fn build_bfl(dag: &Dag, bits: usize, seed: u64) -> Bfl {
-    build_bfl_shared(Arc::new(dag.graph().clone()), dag, bits, seed)
+    build_bfl_shared(dag.shared_graph(), dag, bits, seed)
 }
 
 /// Builds BFL over an explicitly shared graph.

@@ -14,9 +14,7 @@
 //! the full TC. `Qr(s,t)` is one array lookup:
 //! `best[s][chain(t)] ≤ pos(t)`.
 
-use crate::index::{
-    Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex,
-};
+use crate::index::{Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex};
 use reach_graph::{Dag, VertexId};
 
 const UNREACHED: u32 = u32::MAX;
@@ -92,7 +90,12 @@ impl ChainCover {
             let own = ui * num_chains + chain_of[ui] as usize;
             best[own] = best[own].min(pos_of[ui]);
         }
-        ChainCover { chain_of, pos_of, num_chains, best }
+        ChainCover {
+            chain_of,
+            pos_of,
+            num_chains,
+            best,
+        }
     }
 
     /// Number of chains in the decomposition.

@@ -45,12 +45,21 @@ impl DynamicGrail {
         let mut rng = SmallRng::seed_from_u64(seed);
         let filter = GrailFilter::build(dag, k, &mut rng);
         DynamicGrail {
-            out_adj: dag.vertices().map(|v| dag.out_neighbors(v).to_vec()).collect(),
-            in_adj: dag.vertices().map(|v| dag.in_neighbors(v).to_vec()).collect(),
+            out_adj: dag
+                .vertices()
+                .map(|v| dag.out_neighbors(v).to_vec())
+                .collect(),
+            in_adj: dag
+                .vertices()
+                .map(|v| dag.in_neighbors(v).to_vec())
+                .collect(),
             labelings: filter.into_labelings(),
             k,
             seed,
-            scratch: RefCell::new(Scratch { visit: VisitMap::new(n), stack: Vec::new() }),
+            scratch: RefCell::new(Scratch {
+                visit: VisitMap::new(n),
+                stack: Vec::new(),
+            }),
         }
     }
 
@@ -110,10 +119,7 @@ impl DynamicGrail {
     /// the graph cyclic.
     pub fn rebuild(&mut self) -> bool {
         let n = self.out_adj.len();
-        let mut b = DiGraphBuilder::with_capacity(
-            n,
-            self.out_adj.iter().map(Vec::len).sum(),
-        );
+        let mut b = DiGraphBuilder::with_capacity(n, self.out_adj.iter().map(Vec::len).sum());
         for (ui, outs) in self.out_adj.iter().enumerate() {
             for &v in outs {
                 b.add_edge(VertexId::new(ui), v);

@@ -15,9 +15,7 @@
 //! Queries undecided by both labels fall back to a pruned DFS over the
 //! index's own (mutable) adjacency.
 
-use crate::index::{
-    Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex,
-};
+use crate::index::{Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex};
 use reach_graph::{DiGraph, VertexId};
 use std::cell::RefCell;
 
@@ -79,14 +77,26 @@ impl Dbl {
 
     fn mark_closure(&mut self, from: VertexId, bit: u64, forward: bool) {
         let mut queue = vec![from];
-        let dl = if forward { &mut self.dl_in } else { &mut self.dl_out };
+        let dl = if forward {
+            &mut self.dl_in
+        } else {
+            &mut self.dl_out
+        };
         dl[from.index()] |= bit;
         let mut head = 0;
         while head < queue.len() {
             let x = queue[head];
             head += 1;
-            let adj = if forward { &self.out_adj[x.index()] } else { &self.in_adj[x.index()] };
-            let dl = if forward { &mut self.dl_in } else { &mut self.dl_out };
+            let adj = if forward {
+                &self.out_adj[x.index()]
+            } else {
+                &self.in_adj[x.index()]
+            };
+            let dl = if forward {
+                &mut self.dl_in
+            } else {
+                &mut self.dl_out
+            };
             for &y in adj {
                 if dl[y.index()] & bit == 0 {
                     dl[y.index()] |= bit;
@@ -168,7 +178,11 @@ impl Dbl {
     fn propagate_dl(&mut self, start: VertexId, bits: u64, forward: bool) {
         let mut queue = vec![start];
         {
-            let dl = if forward { &mut self.dl_in } else { &mut self.dl_out };
+            let dl = if forward {
+                &mut self.dl_in
+            } else {
+                &mut self.dl_out
+            };
             if dl[start.index()] | bits == dl[start.index()] {
                 return;
             }
@@ -178,8 +192,16 @@ impl Dbl {
         while head < queue.len() {
             let x = queue[head];
             head += 1;
-            let adj = if forward { &self.out_adj[x.index()] } else { &self.in_adj[x.index()] };
-            let dl = if forward { &mut self.dl_in } else { &mut self.dl_out };
+            let adj = if forward {
+                &self.out_adj[x.index()]
+            } else {
+                &self.in_adj[x.index()]
+            };
+            let dl = if forward {
+                &mut self.dl_in
+            } else {
+                &mut self.dl_out
+            };
             for &y in adj {
                 if dl[y.index()] | bits != dl[y.index()] {
                     dl[y.index()] |= bits;
@@ -192,7 +214,11 @@ impl Dbl {
     fn propagate_bl(&mut self, start: VertexId, bits: u32, out_side: bool) {
         let mut queue = vec![start];
         {
-            let bl = if out_side { &mut self.bl_out } else { &mut self.bl_in };
+            let bl = if out_side {
+                &mut self.bl_out
+            } else {
+                &mut self.bl_in
+            };
             if bl[start.index()] | bits == bl[start.index()] {
                 return;
             }
@@ -203,8 +229,16 @@ impl Dbl {
             let x = queue[head];
             head += 1;
             // bl_out flows backward (predecessors absorb), bl_in forward
-            let adj = if out_side { &self.in_adj[x.index()] } else { &self.out_adj[x.index()] };
-            let bl = if out_side { &mut self.bl_out } else { &mut self.bl_in };
+            let adj = if out_side {
+                &self.in_adj[x.index()]
+            } else {
+                &self.out_adj[x.index()]
+            };
+            let bl = if out_side {
+                &mut self.bl_out
+            } else {
+                &mut self.bl_in
+            };
             let grown = bl[x.index()];
             for &y in adj {
                 if bl[y.index()] | grown != bl[y.index()] {

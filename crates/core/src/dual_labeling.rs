@@ -11,9 +11,7 @@
 //! survey notes it "works well only if the number of non-tree edges is
 //! very low".
 
-use crate::index::{
-    Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex,
-};
+use crate::index::{Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex};
 use crate::interval::SpanningForest;
 use reach_graph::{Dag, VertexId};
 
@@ -56,7 +54,10 @@ impl DualLabeling {
                         (&mut x[i * stride..i * stride + stride], &y[..stride])
                     } else if i > k {
                         let (x, y) = link_tc.split_at_mut(i * stride);
-                        (&mut y[..stride], &x[k * stride..k * stride + stride] as &[u64])
+                        (
+                            &mut y[..stride],
+                            &x[k * stride..k * stride + stride] as &[u64],
+                        )
                     } else {
                         continue;
                     };
@@ -66,7 +67,12 @@ impl DualLabeling {
                 }
             }
         }
-        DualLabeling { forest, links, link_tc, stride }
+        DualLabeling {
+            forest,
+            links,
+            link_tc,
+            stride,
+        }
     }
 
     /// Number of transitive links (non-tree edges).

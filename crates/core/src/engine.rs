@@ -52,7 +52,10 @@ impl<F: ReachFilter> GuidedSearch<F> {
             graph,
             filter,
             meta,
-            scratch: RefCell::new(Scratch { visit: VisitMap::new(n), stack: Vec::new() }),
+            scratch: RefCell::new(Scratch {
+                visit: VisitMap::new(n),
+                stack: Vec::new(),
+            }),
         }
     }
 
@@ -136,7 +139,10 @@ mod tests {
             Certainty::Unknown
         }
         fn guarantees(&self) -> FilterGuarantees {
-            FilterGuarantees { definite_positive: false, definite_negative: false }
+            FilterGuarantees {
+                definite_positive: false,
+                definite_negative: false,
+            }
         }
         fn size_bytes(&self) -> usize {
             0
@@ -158,7 +164,10 @@ mod tests {
             }
         }
         fn guarantees(&self) -> FilterGuarantees {
-            FilterGuarantees { definite_positive: false, definite_negative: true }
+            FilterGuarantees {
+                definite_positive: false,
+                definite_negative: true,
+            }
         }
         fn size_bytes(&self) -> usize {
             0

@@ -9,8 +9,8 @@
 
 use crate::engine::GuidedSearch;
 use crate::index::{
-    Certainty, Completeness, Dynamism, FilterGuarantees, Framework, IndexMeta,
-    InputClass, ReachFilter,
+    Certainty, Completeness, Dynamism, FilterGuarantees, Framework, IndexMeta, InputClass,
+    ReachFilter,
 };
 use reach_graph::{Dag, DiGraph, VertexId};
 use std::cmp::Reverse;
@@ -27,8 +27,9 @@ pub struct FelineFilter {
 /// Kahn topological order with a caller-chosen tie-break.
 fn kahn_order(g: &DiGraph, prefer_small_ids: bool) -> Vec<u32> {
     let n = g.num_vertices();
-    let mut in_deg: Vec<u32> =
-        (0..n).map(|v| g.in_degree(VertexId::new(v)) as u32).collect();
+    let mut in_deg: Vec<u32> = (0..n)
+        .map(|v| g.in_degree(VertexId::new(v)) as u32)
+        .collect();
     let mut rank = vec![0u32; n];
     let mut next = 0u32;
     if prefer_small_ids {
@@ -85,8 +86,7 @@ impl ReachFilter for FelineFilter {
         if s == t {
             return Certainty::Reachable;
         }
-        if self.x[s.index()] >= self.x[t.index()] || self.y[s.index()] >= self.y[t.index()]
-        {
+        if self.x[s.index()] >= self.x[t.index()] || self.y[s.index()] >= self.y[t.index()] {
             Certainty::Unreachable
         } else {
             Certainty::Unknown
@@ -94,7 +94,10 @@ impl ReachFilter for FelineFilter {
     }
 
     fn guarantees(&self) -> FilterGuarantees {
-        FilterGuarantees { definite_positive: false, definite_negative: true }
+        FilterGuarantees {
+            definite_positive: false,
+            definite_negative: true,
+        }
     }
 
     fn size_bytes(&self) -> usize {
@@ -111,7 +114,7 @@ pub type Feline = GuidedSearch<FelineFilter>;
 
 /// Builds Feline over a DAG.
 pub fn build_feline(dag: &Dag) -> Feline {
-    build_feline_shared(Arc::new(dag.graph().clone()), dag)
+    build_feline_shared(dag.shared_graph(), dag)
 }
 
 /// Builds Feline over an explicitly shared graph.

@@ -12,8 +12,8 @@
 
 use crate::engine::GuidedSearch;
 use crate::index::{
-    Certainty, Completeness, Dynamism, FilterGuarantees, Framework, IndexMeta,
-    InputClass, ReachFilter,
+    Certainty, Completeness, Dynamism, FilterGuarantees, Framework, IndexMeta, InputClass,
+    ReachFilter,
 };
 use crate::interval::SpanningForest;
 use reach_graph::{Dag, DiGraph, VertexId};
@@ -79,11 +79,13 @@ fn merge_with_budget(list: &mut Vec<FerrariInterval>, budget: usize) {
 impl FerrariFilter {
     /// Builds the filter with at most `budget` intervals per vertex.
     pub fn build(dag: &Dag, budget: usize) -> Self {
-        assert!(budget >= 1, "Ferrari needs a budget of at least one interval");
+        assert!(
+            budget >= 1,
+            "Ferrari needs a budget of at least one interval"
+        );
         let forest = SpanningForest::build(dag.graph());
         let n = dag.num_vertices();
-        let post: Vec<u32> =
-            (0..n).map(|i| forest.end(VertexId::new(i))).collect();
+        let post: Vec<u32> = (0..n).map(|i| forest.end(VertexId::new(i))).collect();
         let mut intervals: Vec<Vec<FerrariInterval>> = vec![Vec::new(); n];
         for &u in dag.topo_order().iter().rev() {
             let mut list = vec![FerrariInterval {
@@ -97,7 +99,11 @@ impl FerrariFilter {
             merge_with_budget(&mut list, budget);
             intervals[u.index()] = list;
         }
-        FerrariFilter { post, intervals, budget }
+        FerrariFilter {
+            post,
+            intervals,
+            budget,
+        }
     }
 
     /// The per-vertex interval budget.
@@ -130,7 +136,10 @@ impl ReachFilter for FerrariFilter {
     }
 
     fn guarantees(&self) -> FilterGuarantees {
-        FilterGuarantees { definite_positive: true, definite_negative: true }
+        FilterGuarantees {
+            definite_positive: true,
+            definite_negative: true,
+        }
     }
 
     fn size_bytes(&self) -> usize {
@@ -147,7 +156,7 @@ pub type Ferrari = GuidedSearch<FerrariFilter>;
 
 /// Builds Ferrari with at most `budget` intervals per vertex.
 pub fn build_ferrari(dag: &Dag, budget: usize) -> Ferrari {
-    build_ferrari_shared(Arc::new(dag.graph().clone()), dag, budget)
+    build_ferrari_shared(dag.shared_graph(), dag, budget)
 }
 
 /// Builds Ferrari over an explicitly shared graph.
@@ -243,8 +252,11 @@ mod tests {
                 if s == t {
                     continue;
                 }
-                let expect =
-                    if tc.reaches(s, t) { Certainty::Reachable } else { Certainty::Unreachable };
+                let expect = if tc.reaches(s, t) {
+                    Certainty::Reachable
+                } else {
+                    Certainty::Unreachable
+                };
                 assert_eq!(f.certain(s, t), expect);
             }
         }
@@ -258,15 +270,30 @@ mod tests {
         let any_approx = dag
             .vertices()
             .any(|v| f.intervals_of(v).iter().any(|iv| !iv.exact));
-        assert!(any_approx, "budget 1 on a dense DAG must force lossy merges");
+        assert!(
+            any_approx,
+            "budget 1 on a dense DAG must force lossy merges"
+        );
     }
 
     #[test]
     fn merge_with_budget_unit() {
         let mut list = vec![
-            FerrariInterval { start: 1, end: 2, exact: true },
-            FerrariInterval { start: 4, end: 5, exact: true },
-            FerrariInterval { start: 9, end: 9, exact: true },
+            FerrariInterval {
+                start: 1,
+                end: 2,
+                exact: true,
+            },
+            FerrariInterval {
+                start: 4,
+                end: 5,
+                exact: true,
+            },
+            FerrariInterval {
+                start: 9,
+                end: 9,
+                exact: true,
+            },
         ];
         merge_with_budget(&mut list, 2);
         // gap 4-2=2 < 9-5=4: first two merge, approximately

@@ -7,14 +7,20 @@
 //! followed by checking the reachability in the DAG."*
 
 use crate::index::{IndexMeta, InputClass, ReachIndex};
-use reach_graph::{Condensation, Dag, DiGraph, VertexId};
+use reach_graph::{Condensation, Dag, DiGraph, PreparedGraph, VertexId};
+use std::sync::Arc;
 
 /// Lifts a DAG-only index to general graphs via Tarjan condensation.
 ///
 /// Queries on original vertices are answered as
 /// `same_scc(s, t) || inner.query(comp(s), comp(t))`.
+///
+/// The condensation is held behind an `Arc` so many adapted indexes
+/// built over the same [`PreparedGraph`] share one artifact instead of
+/// each re-running Tarjan (see
+/// [`from_prepared`](Self::from_prepared)).
 pub struct Condensed<I> {
-    cond: Condensation,
+    cond: Arc<Condensation>,
     inner: I,
 }
 
@@ -22,9 +28,19 @@ impl<I: ReachIndex> Condensed<I> {
     /// Condenses `g` and builds the inner index on the SCC DAG via
     /// `build` (which receives the condensation DAG).
     pub fn build(g: &DiGraph, build: impl FnOnce(&Dag) -> I) -> Self {
-        let cond = Condensation::new(g);
+        Self::from_condensation(Arc::new(Condensation::new(g)), build)
+    }
+
+    /// Builds the inner index on an existing (shared) condensation.
+    pub fn from_condensation(cond: Arc<Condensation>, build: impl FnOnce(&Dag) -> I) -> Self {
         let inner = build(cond.dag());
         Condensed { cond, inner }
+    }
+
+    /// Builds the inner index on a [`PreparedGraph`]'s memoized
+    /// condensation — the pipeline path: no per-index Tarjan run.
+    pub fn from_prepared(prepared: &PreparedGraph, build: impl FnOnce(&Dag) -> I) -> Self {
+        Self::from_condensation(Arc::clone(prepared.condensation()), build)
     }
 
     /// The inner DAG index.
@@ -36,17 +52,28 @@ impl<I: ReachIndex> Condensed<I> {
     pub fn condensation(&self) -> &Condensation {
         &self.cond
     }
+
+    /// The shared handle to that condensation, for `Arc::ptr_eq`
+    /// checks that two adapters really use one artifact.
+    pub fn shared_condensation(&self) -> Arc<Condensation> {
+        Arc::clone(&self.cond)
+    }
 }
 
 impl<I: ReachIndex> ReachIndex for Condensed<I> {
     fn query(&self, s: VertexId, t: VertexId) -> bool {
         self.cond.same_component(s, t)
-            || self.inner.query(self.cond.component_of(s), self.cond.component_of(t))
+            || self
+                .inner
+                .query(self.cond.component_of(s), self.cond.component_of(t))
     }
 
     fn meta(&self) -> IndexMeta {
         // the composition handles general input; everything else is inherited
-        IndexMeta { input: InputClass::General, ..self.inner.meta() }
+        IndexMeta {
+            input: InputClass::General,
+            ..self.inner.meta()
+        }
     }
 
     fn size_bytes(&self) -> usize {
@@ -67,10 +94,7 @@ mod tests {
     #[test]
     fn condensed_tc_handles_cycles() {
         // {0,1,2} cycle -> 3 -> {4,5} cycle, 6 isolated
-        let g = DiGraph::from_edges(
-            7,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 4)],
-        );
+        let g = DiGraph::from_edges(7, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 4)]);
         let idx = Condensed::build(&g, TransitiveClosure::build_dag);
         assert!(idx.query(VertexId(0), VertexId(5)));
         assert!(idx.query(VertexId(1), VertexId(0)), "same SCC");

@@ -10,8 +10,8 @@
 
 use crate::engine::GuidedSearch;
 use crate::index::{
-    Certainty, Completeness, Dynamism, FilterGuarantees, Framework, IndexMeta,
-    InputClass, ReachFilter,
+    Certainty, Completeness, Dynamism, FilterGuarantees, Framework, IndexMeta, InputClass,
+    ReachFilter,
 };
 use crate::interval::SpanningForest;
 use rand::rngs::SmallRng;
@@ -51,7 +51,9 @@ impl GrailFilter {
     /// Builds `k` independent labelings seeded from `rng`.
     pub fn build<R: Rng>(dag: &Dag, k: usize, rng: &mut R) -> Self {
         assert!(k >= 1, "GRAIL needs at least one labeling");
-        GrailFilter { labelings: (0..k).map(|_| one_labeling(dag, rng)).collect() }
+        GrailFilter {
+            labelings: (0..k).map(|_| one_labeling(dag, rng)).collect(),
+        }
     }
 
     /// Number of labelings (the `k` parameter).
@@ -86,7 +88,10 @@ impl ReachFilter for GrailFilter {
     }
 
     fn guarantees(&self) -> FilterGuarantees {
-        FilterGuarantees { definite_positive: false, definite_negative: true }
+        FilterGuarantees {
+            definite_positive: false,
+            definite_negative: true,
+        }
     }
 
     fn size_bytes(&self) -> usize {
@@ -107,7 +112,7 @@ pub fn build_grail(dag: &Dag, k: usize, seed: u64) -> Grail {
     let mut rng = SmallRng::seed_from_u64(seed);
     let filter = GrailFilter::build(dag, k, &mut rng);
     GuidedSearch::new(
-        Arc::new(dag.graph().clone()),
+        dag.shared_graph(),
         filter,
         IndexMeta {
             name: "GRAIL",

@@ -11,9 +11,7 @@
 //! weakness §3.1 of the survey calls out in comparing it to the
 //! no-false-negative designs.
 
-use crate::index::{
-    Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex,
-};
+use crate::index::{Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex};
 use crate::interval::SpanningForest;
 use reach_graph::traverse::{Side, VisitMap};
 use reach_graph::{DiGraph, VertexId};

@@ -9,9 +9,7 @@
 //! The combination is a complete index: lookups plus residual search
 //! decide every query exactly.
 
-use crate::index::{
-    Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex,
-};
+use crate::index::{Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex};
 use reach_graph::traverse::{Side, VisitMap};
 use reach_graph::{Dag, DiGraph, VertexId};
 use std::cell::RefCell;
@@ -39,7 +37,7 @@ struct Scratch {
 impl Hl {
     /// Builds the oracle with `k` landmarks chosen by descending degree.
     pub fn build(dag: &Dag, k: usize) -> Self {
-        Self::build_shared(Arc::new(dag.graph().clone()), k)
+        Self::build_shared(dag.shared_graph(), k)
     }
 
     /// Builds the oracle over an explicitly shared graph (acyclicity
@@ -73,7 +71,10 @@ impl Hl {
             words,
             fwd,
             bwd,
-            scratch: RefCell::new(Scratch { visit: VisitMap::new(n), stack: Vec::new() }),
+            scratch: RefCell::new(Scratch {
+                visit: VisitMap::new(n),
+                stack: Vec::new(),
+            }),
         }
     }
 
@@ -98,7 +99,10 @@ impl Hl {
             words,
             fwd,
             bwd,
-            scratch: RefCell::new(Scratch { visit: VisitMap::new(n), stack: Vec::new() }),
+            scratch: RefCell::new(Scratch {
+                visit: VisitMap::new(n),
+                stack: Vec::new(),
+            }),
         }
     }
 
@@ -120,9 +124,7 @@ impl ReachIndex for Hl {
         }
         // landmark lookup: any landmark on some s-t path decides
         for i in 0..self.landmarks.len() {
-            if Self::bit(&self.bwd, i, self.words, s)
-                && Self::bit(&self.fwd, i, self.words, t)
-            {
+            if Self::bit(&self.bwd, i, self.words, s) && Self::bit(&self.fwd, i, self.words, t) {
                 return true;
             }
         }
@@ -167,7 +169,11 @@ impl ReachIndex for Hl {
 
     fn size_entries(&self) -> usize {
         // set bits are the materialized reachability facts
-        self.fwd.iter().chain(self.bwd.iter()).map(|w| w.count_ones() as usize).sum()
+        self.fwd
+            .iter()
+            .chain(self.bwd.iter())
+            .map(|w| w.count_ones() as usize)
+            .sum()
     }
 }
 

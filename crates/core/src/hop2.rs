@@ -8,9 +8,7 @@
 //! from: repeatedly choose the hop vertex covering the most
 //! still-uncovered reachable pairs, until every pair is covered.
 
-use crate::index::{
-    Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex,
-};
+use crate::index::{Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex};
 use crate::tc::TransitiveClosure;
 use crate::tol::sorted_intersects;
 use reach_graph::{DiGraph, VertexId};
@@ -138,8 +136,7 @@ impl ReachIndex for Hop2 {
     }
 
     fn size_entries(&self) -> usize {
-        self.lin.iter().map(Vec::len).sum::<usize>()
-            + self.lout.iter().map(Vec::len).sum::<usize>()
+        self.lin.iter().map(Vec::len).sum::<usize>() + self.lout.iter().map(Vec::len).sum::<usize>()
     }
 }
 

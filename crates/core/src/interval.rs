@@ -74,7 +74,12 @@ impl SpanningForest {
             if let Some(rng) = rng.as_deref_mut() {
                 shuffle(&mut neighbors, rng);
             }
-            stack.push(Frame { v: root, neighbors, cursor: 0, entry_counter: counter });
+            stack.push(Frame {
+                v: root,
+                neighbors,
+                cursor: 0,
+                entry_counter: counter,
+            });
             while let Some(top) = stack.last_mut() {
                 if top.cursor < top.neighbors.len() {
                     let w = top.neighbors[top.cursor];
@@ -104,15 +109,19 @@ impl SpanningForest {
                 }
             }
         }
-        SpanningForest { parent, start, end, non_tree }
+        SpanningForest {
+            parent,
+            start,
+            end,
+            non_tree,
+        }
     }
 
     /// Whether `v` lies in the tree subtree rooted at `u` (including
     /// `u` itself): `b_v ∈ [a_u, b_u]`.
     #[inline]
     pub fn contains(&self, u: VertexId, v: VertexId) -> bool {
-        self.start[u.index()] <= self.end[v.index()]
-            && self.end[v.index()] <= self.end[u.index()]
+        self.start[u.index()] <= self.end[v.index()] && self.end[v.index()] <= self.end[u.index()]
     }
 
     /// `a_v`: the lowest post-order number in `v`'s subtree.
@@ -198,10 +207,7 @@ mod tests {
     fn non_tree_edges_complete_the_edge_set() {
         let g = fixtures::figure1a();
         let f = SpanningForest::build(&g);
-        let tree_edges = g
-            .edges()
-            .filter(|&(u, v)| f.parent(v) == Some(u))
-            .count();
+        let tree_edges = g.edges().filter(|&(u, v)| f.parent(v) == Some(u)).count();
         assert_eq!(tree_edges + f.non_tree_edges().len(), g.num_edges());
     }
 
@@ -224,8 +230,9 @@ mod tests {
     fn random_forests_differ_but_stay_valid() {
         let g = fixtures::figure1a();
         let mut rng = SmallRng::seed_from_u64(5);
-        let forests: Vec<SpanningForest> =
-            (0..8).map(|_| SpanningForest::build_random(&g, &mut rng)).collect();
+        let forests: Vec<SpanningForest> = (0..8)
+            .map(|_| SpanningForest::build_random(&g, &mut rng))
+            .collect();
         // all valid positive filters
         let mut vm = reach_graph::traverse::VisitMap::new(g.num_vertices());
         for f in &forests {
@@ -241,7 +248,10 @@ mod tests {
         let distinct = forests
             .iter()
             .any(|f| (0..9).any(|i| f.end(VertexId(i)) != forests[0].end(VertexId(i))));
-        assert!(distinct, "8 random forests all identical is vanishingly unlikely");
+        assert!(
+            distinct,
+            "8 random forests all identical is vanishingly unlikely"
+        );
     }
 
     #[test]

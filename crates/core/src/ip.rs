@@ -12,8 +12,8 @@
 
 use crate::engine::GuidedSearch;
 use crate::index::{
-    Certainty, Completeness, Dynamism, FilterGuarantees, Framework, IndexMeta,
-    InputClass, ReachFilter,
+    Certainty, Completeness, Dynamism, FilterGuarantees, Framework, IndexMeta, InputClass,
+    ReachFilter,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -54,19 +54,29 @@ fn kmin_merge(own: u32, others: &[&KMin], k: usize) -> KMin {
     vals.dedup();
     if vals.len() > k {
         vals.truncate(k);
-        KMin { values: vals, exact: false }
+        KMin {
+            values: vals,
+            exact: false,
+        }
     } else {
         // exact only if every input was exact (a truncated input hides
         // hashes that may exceed our max)
         let exact = all_exact && vals.len() < k;
-        KMin { values: vals, exact }
+        KMin {
+            values: vals,
+            exact,
+        }
     }
 }
 
 /// The subset test: can `sub`'s closure be contained in `sup`'s?
 /// Returns `false` only when containment is *provably* violated.
 fn maybe_subset(sub: &KMin, sup: &KMin) -> bool {
-    let bound = if sup.exact { u32::MAX } else { *sup.values.last().unwrap_or(&0) };
+    let bound = if sup.exact {
+        u32::MAX
+    } else {
+        *sup.values.last().unwrap_or(&0)
+    };
     for &e in &sub.values {
         if e > bound {
             break; // values are sorted; the rest are unobservable
@@ -91,21 +101,34 @@ impl IpFilter {
         }
         let mut out_label: Vec<KMin> = vec![KMin::default(); n];
         for &u in dag.topo_order().iter().rev() {
-            let others: Vec<&KMin> =
-                g.out_neighbors(u).iter().map(|v| &out_label[v.index()]).collect();
+            let others: Vec<&KMin> = g
+                .out_neighbors(u)
+                .iter()
+                .map(|v| &out_label[v.index()])
+                .collect();
             let merged = kmin_merge(hash[u.index()], &others, k);
             out_label[u.index()] = merged;
         }
         let mut in_label: Vec<KMin> = vec![KMin::default(); n];
         for &u in dag.topo_order() {
-            let others: Vec<&KMin> =
-                g.in_neighbors(u).iter().map(|v| &in_label[v.index()]).collect();
+            let others: Vec<&KMin> = g
+                .in_neighbors(u)
+                .iter()
+                .map(|v| &in_label[v.index()])
+                .collect();
             let merged = kmin_merge(hash[u.index()], &others, k);
             in_label[u.index()] = merged;
         }
         let level_fwd = topological_levels(g).expect("DAG input");
         let level_bwd = topological_levels(&g.reverse()).expect("DAG input");
-        IpFilter { hash, out_label, in_label, level_fwd, level_bwd, k }
+        IpFilter {
+            hash,
+            out_label,
+            in_label,
+            level_fwd,
+            level_bwd,
+            k,
+        }
     }
 
     /// The `k` parameter.
@@ -145,7 +168,10 @@ impl ReachFilter for IpFilter {
     }
 
     fn guarantees(&self) -> FilterGuarantees {
-        FilterGuarantees { definite_positive: true, definite_negative: true }
+        FilterGuarantees {
+            definite_positive: true,
+            definite_negative: true,
+        }
     }
 
     fn size_bytes(&self) -> usize {
@@ -172,7 +198,7 @@ pub type Ip = GuidedSearch<IpFilter>;
 
 /// Builds IP with `k`-min-wise labels.
 pub fn build_ip(dag: &Dag, k: usize, seed: u64) -> Ip {
-    build_ip_shared(Arc::new(dag.graph().clone()), dag, k, seed)
+    build_ip_shared(dag.shared_graph(), dag, k, seed)
 }
 
 /// Builds IP over an explicitly shared graph.
@@ -281,8 +307,14 @@ mod tests {
 
     #[test]
     fn kmin_merge_unit() {
-        let a = KMin { values: vec![1, 4, 9], exact: false };
-        let b = KMin { values: vec![2, 4], exact: true };
+        let a = KMin {
+            values: vec![1, 4, 9],
+            exact: false,
+        };
+        let b = KMin {
+            values: vec![2, 4],
+            exact: true,
+        };
         let m = kmin_merge(0, &[&a, &b], 3);
         assert_eq!(m.values, vec![0, 1, 2]);
         assert!(!m.exact);
@@ -295,13 +327,43 @@ mod tests {
 
     #[test]
     fn maybe_subset_unit() {
-        let sup = KMin { values: vec![1, 3, 5], exact: false };
+        let sup = KMin {
+            values: vec![1, 3, 5],
+            exact: false,
+        };
         // 2 < 5 and missing: provably not a subset
-        assert!(!maybe_subset(&KMin { values: vec![2], exact: true }, &sup));
+        assert!(!maybe_subset(
+            &KMin {
+                values: vec![2],
+                exact: true
+            },
+            &sup
+        ));
         // 9 > max(sup) and sup inexact: unobservable
-        assert!(maybe_subset(&KMin { values: vec![9], exact: true }, &sup));
-        let sup_exact = KMin { values: vec![1, 3, 5], exact: true };
-        assert!(!maybe_subset(&KMin { values: vec![9], exact: true }, &sup_exact));
-        assert!(maybe_subset(&KMin { values: vec![1, 5], exact: true }, &sup_exact));
+        assert!(maybe_subset(
+            &KMin {
+                values: vec![9],
+                exact: true
+            },
+            &sup
+        ));
+        let sup_exact = KMin {
+            values: vec![1, 3, 5],
+            exact: true,
+        };
+        assert!(!maybe_subset(
+            &KMin {
+                values: vec![9],
+                exact: true
+            },
+            &sup_exact
+        ));
+        assert!(maybe_subset(
+            &KMin {
+                values: vec![1, 5],
+                exact: true
+            },
+            &sup_exact
+        ));
     }
 }

@@ -38,6 +38,7 @@ pub mod ip;
 pub mod online;
 pub mod oreach;
 pub mod parallel;
+pub mod pipeline;
 pub mod pll;
 pub mod preach;
 pub mod sspi;
@@ -48,7 +49,8 @@ pub mod tree_cover;
 pub use engine::GuidedSearch;
 pub use general::Condensed;
 pub use index::{
-    Certainty, Completeness, Dynamism, FilterGuarantees, Framework, IndexMeta,
-    InputClass, ReachFilter, ReachIndex,
+    Certainty, Completeness, Dynamism, FilterGuarantees, Framework, IndexMeta, InputClass,
+    ReachFilter, ReachIndex,
 };
+pub use pipeline::{BuildOpts, BuildReport, BuilderSpec, PlainSpec};
 pub use tc::TransitiveClosure;

@@ -5,9 +5,7 @@
 //! harness uses them to reproduce the survey's "an order of magnitude
 //! faster than using only graph traversal" observation.
 
-use crate::index::{
-    Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex,
-};
+use crate::index::{Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex};
 use reach_graph::traverse::{self, VisitMap};
 use reach_graph::{DiGraph, VertexId};
 use std::cell::RefCell;
@@ -36,7 +34,11 @@ impl OnlineSearch {
     /// Wraps `graph` with the chosen traversal strategy.
     pub fn new(graph: Arc<DiGraph>, strategy: Strategy) -> Self {
         let n = graph.num_vertices();
-        OnlineSearch { graph, strategy, visit: RefCell::new(VisitMap::new(n)) }
+        OnlineSearch {
+            graph,
+            strategy,
+            visit: RefCell::new(VisitMap::new(n)),
+        }
     }
 
     /// The traversal strategy in use.

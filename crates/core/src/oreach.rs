@@ -16,8 +16,8 @@
 
 use crate::engine::GuidedSearch;
 use crate::index::{
-    Certainty, Completeness, Dynamism, FilterGuarantees, Framework, IndexMeta,
-    InputClass, ReachFilter,
+    Certainty, Completeness, Dynamism, FilterGuarantees, Framework, IndexMeta, InputClass,
+    ReachFilter,
 };
 use reach_graph::{Dag, DiGraph, VertexId};
 use std::sync::Arc;
@@ -63,7 +63,13 @@ impl OReachFilter {
             topo_a[v.index()] = i as u32;
         }
         let topo_b = second_topo_order(g);
-        OReachFilter { from_supp, to_supp, topo_a, topo_b, num_supports: k }
+        OReachFilter {
+            from_supp,
+            to_supp,
+            topo_a,
+            topo_b,
+            num_supports: k,
+        }
     }
 
     /// Number of supportive vertices in use.
@@ -76,12 +82,11 @@ impl OReachFilter {
 /// disagrees with the primary order wherever the DAG leaves freedom.
 fn second_topo_order(g: &DiGraph) -> Vec<u32> {
     let n = g.num_vertices();
-    let mut in_deg: Vec<u32> =
-        (0..n).map(|v| g.in_degree(VertexId::new(v)) as u32).collect();
-    let mut heap: std::collections::BinaryHeap<VertexId> = g
-        .vertices()
-        .filter(|&v| in_deg[v.index()] == 0)
+    let mut in_deg: Vec<u32> = (0..n)
+        .map(|v| g.in_degree(VertexId::new(v)) as u32)
         .collect();
+    let mut heap: std::collections::BinaryHeap<VertexId> =
+        g.vertices().filter(|&v| in_deg[v.index()] == 0).collect();
     let mut rank = vec![0u32; n];
     let mut next = 0u32;
     while let Some(u) = heap.pop() {
@@ -125,7 +130,10 @@ impl ReachFilter for OReachFilter {
     }
 
     fn guarantees(&self) -> FilterGuarantees {
-        FilterGuarantees { definite_positive: true, definite_negative: true }
+        FilterGuarantees {
+            definite_positive: true,
+            definite_negative: true,
+        }
     }
 
     fn size_bytes(&self) -> usize {
@@ -142,7 +150,7 @@ pub type OReach = GuidedSearch<OReachFilter>;
 
 /// Builds O'Reach with `k` supportive vertices.
 pub fn build_oreach(dag: &Dag, k: usize) -> OReach {
-    build_oreach_shared(Arc::new(dag.graph().clone()), dag, k)
+    build_oreach_shared(dag.shared_graph(), dag, k)
 }
 
 /// Builds O'Reach over an explicitly shared graph.

@@ -22,7 +22,6 @@ use crate::GuidedSearch;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use reach_graph::{Dag, DiGraph, VertexId};
-use std::sync::Arc;
 
 /// Splits `0..total` into at most `threads` contiguous chunks.
 fn chunks(total: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
@@ -45,8 +44,11 @@ pub fn build_grail_parallel(dag: &Dag, k: usize, seed: u64, threads: usize) -> G
         let handles: Vec<_> = (0..k)
             .map(|i| {
                 scope.spawn(move || {
-                    let mut rng = SmallRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
-                    GrailFilter::build(dag, 1, &mut rng).into_labelings().remove(0)
+                    let mut rng =
+                        SmallRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                    GrailFilter::build(dag, 1, &mut rng)
+                        .into_labelings()
+                        .remove(0)
                 })
             })
             .collect();
@@ -56,7 +58,7 @@ pub fn build_grail_parallel(dag: &Dag, k: usize, seed: u64, threads: usize) -> G
         }
     });
     GuidedSearch::new(
-        Arc::new(dag.graph().clone()),
+        dag.shared_graph(),
         GrailFilter::from_labelings(labelings),
         IndexMeta {
             name: "GRAIL",
@@ -72,7 +74,7 @@ pub fn build_grail_parallel(dag: &Dag, k: usize, seed: u64, threads: usize) -> G
 /// Builds the HL landmark oracle with per-landmark BFS pairs running
 /// on `threads` worker threads.
 pub fn build_hl_parallel(dag: &Dag, k: usize, threads: usize) -> Hl {
-    let graph = Arc::new(dag.graph().clone());
+    let graph = dag.shared_graph();
     let n = graph.num_vertices();
     let k = k.min(n);
     let mut by_degree: Vec<VertexId> = graph.vertices().collect();
@@ -158,8 +160,12 @@ pub fn build_tol_parallel(g: &DiGraph, order: &[VertexId], threads: usize) -> To
                     let mut bwd = Vec::new();
                     let mut seen = vec![false; n];
                     for r in range {
-                        restricted_closure(g, order[r], r as u32, rank_of, true, &mut seen, &mut fwd);
-                        restricted_closure(g, order[r], r as u32, rank_of, false, &mut seen, &mut bwd);
+                        restricted_closure(
+                            g, order[r], r as u32, rank_of, true, &mut seen, &mut fwd,
+                        );
+                        restricted_closure(
+                            g, order[r], r as u32, rank_of, false, &mut seen, &mut bwd,
+                        );
                     }
                     (fwd, bwd)
                 })
@@ -223,7 +229,11 @@ fn restricted_closure(
         head += 1;
         out.push((r, x.0));
         if x == w || rank_of[x.index()] >= r {
-            let adj = if forward { g.out_neighbors(x) } else { g.in_neighbors(x) };
+            let adj = if forward {
+                g.out_neighbors(x)
+            } else {
+                g.in_neighbors(x)
+            };
             for &y in adj {
                 if !seen[y.index()] {
                     seen[y.index()] = true;

@@ -9,9 +9,7 @@
 //! sets while remaining a complete 2-hop cover. Works directly on
 //! general graphs.
 
-use crate::index::{
-    Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex,
-};
+use crate::index::{Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex};
 use crate::tol::sorted_intersects;
 use reach_graph::{DiGraph, VertexId};
 
@@ -99,7 +97,11 @@ impl Pll {
             } else {
                 self.lout[x.index()].push(r);
             }
-            let adj = if forward { g.out_neighbors(x) } else { g.in_neighbors(x) };
+            let adj = if forward {
+                g.out_neighbors(x)
+            } else {
+                g.in_neighbors(x)
+            };
             for &y in adj {
                 if !seen[y.index()] {
                     seen[y.index()] = true;
@@ -154,8 +156,7 @@ impl ReachIndex for Pll {
     }
 
     fn size_entries(&self) -> usize {
-        self.lin.iter().map(Vec::len).sum::<usize>()
-            + self.lout.iter().map(Vec::len).sum::<usize>()
+        self.lin.iter().map(Vec::len).sum::<usize>() + self.lout.iter().map(Vec::len).sum::<usize>()
     }
 }
 

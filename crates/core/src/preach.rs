@@ -10,8 +10,8 @@
 //! frontier meeting or a positive certificate terminates early.
 
 use crate::index::{
-    Certainty, Completeness, Dynamism, FilterGuarantees, Framework, IndexMeta,
-    InputClass, ReachFilter, ReachIndex,
+    Certainty, Completeness, Dynamism, FilterGuarantees, Framework, IndexMeta, InputClass,
+    ReachFilter, ReachIndex,
 };
 use crate::interval::SpanningForest;
 use reach_graph::topo::topological_levels;
@@ -36,8 +36,9 @@ impl PreachFilter {
     pub fn build(dag: &Dag) -> Self {
         let g = dag.graph();
         let forest = SpanningForest::build(g);
-        let mut min_post: Vec<u32> =
-            (0..g.num_vertices()).map(|i| forest.end(VertexId::new(i))).collect();
+        let mut min_post: Vec<u32> = (0..g.num_vertices())
+            .map(|i| forest.end(VertexId::new(i)))
+            .collect();
         for &u in dag.topo_order().iter().rev() {
             for &v in dag.out_neighbors(u) {
                 min_post[u.index()] = min_post[u.index()].min(min_post[v.index()]);
@@ -75,7 +76,10 @@ impl ReachFilter for PreachFilter {
     }
 
     fn guarantees(&self) -> FilterGuarantees {
-        FilterGuarantees { definite_positive: true, definite_negative: true }
+        FilterGuarantees {
+            definite_positive: true,
+            definite_negative: true,
+        }
     }
 
     fn size_bytes(&self) -> usize {
@@ -98,7 +102,7 @@ pub struct Preach {
 impl Preach {
     /// Builds PReaCH over a DAG.
     pub fn build(dag: &Dag) -> Self {
-        Self::build_shared(Arc::new(dag.graph().clone()), dag)
+        Self::build_shared(dag.shared_graph(), dag)
     }
 
     /// Builds PReaCH over an explicitly shared graph.

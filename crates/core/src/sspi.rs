@@ -9,9 +9,7 @@
 //! decomposes into tree segments joined by non-tree edges, which makes
 //! the hop traversal exact.
 
-use crate::index::{
-    Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex,
-};
+use crate::index::{Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex};
 use crate::interval::SpanningForest;
 use reach_graph::traverse::{Side, VisitMap};
 use reach_graph::{Dag, VertexId};

@@ -6,9 +6,7 @@
 //! make it infeasible in practice."* It is, however, the perfect test
 //! oracle: every other index in this workspace is validated against it.
 
-use crate::index::{
-    Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex,
-};
+use crate::index::{Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex};
 use reach_graph::{Dag, DiGraph, VertexId};
 
 /// A dense bitset transitive closure: one `n`-bit row per vertex.
@@ -49,7 +47,10 @@ impl TransitiveClosure {
                     (&mut a[ui * words..ui * words + words], &b[..words])
                 } else {
                     let (a, b) = rows.split_at_mut(ui * words);
-                    (&mut b[..words], &a[vi * words..vi * words + words] as &[u64])
+                    (
+                        &mut b[..words],
+                        &a[vi * words..vi * words + words] as &[u64],
+                    )
                 };
                 for w in 0..words {
                     urow[w] |= vrow[w];

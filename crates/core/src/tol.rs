@@ -17,9 +17,7 @@
 //!   invalidation (the property the TOL paper exploits for its
 //!   dynamic-graph support).
 
-use crate::index::{
-    Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex,
-};
+use crate::index::{Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex};
 use reach_graph::{Dag, DiGraph, VertexId};
 
 /// The vertex total order a TOL instance is built with.
@@ -85,7 +83,11 @@ impl Tol {
     /// Builds a TOL index over `g` with an explicit vertex order
     /// (`order[0]` is the highest-priority hop).
     pub fn build_with_order(g: &DiGraph, order: &[VertexId], meta: IndexMeta) -> Self {
-        assert_eq!(order.len(), g.num_vertices(), "order must cover all vertices");
+        assert_eq!(
+            order.len(),
+            g.num_vertices(),
+            "order must cover all vertices"
+        );
         let n = g.num_vertices();
         let mut rank_of = vec![0u32; n];
         for (r, &v) in order.iter().enumerate() {
@@ -114,7 +116,11 @@ impl Tol {
                         lout[x.index()].push(r);
                     }
                     if x == w || rank_of[x.index()] > r {
-                        let adj = if forward { g.out_neighbors(x) } else { g.in_neighbors(x) };
+                        let adj = if forward {
+                            g.out_neighbors(x)
+                        } else {
+                            g.in_neighbors(x)
+                        };
                         for &y in adj {
                             if !seen[y.index()] {
                                 seen[y.index()] = true;
@@ -173,8 +179,11 @@ impl Tol {
         while head < queue.len() {
             let x = queue[head];
             head += 1;
-            let labels =
-                if forward { &mut self.lin[x.index()] } else { &mut self.lout[x.index()] };
+            let labels = if forward {
+                &mut self.lin[x.index()]
+            } else {
+                &mut self.lout[x.index()]
+            };
             if let Err(pos) = labels.binary_search(&r) {
                 labels.insert(pos, r);
             }
@@ -183,8 +192,11 @@ impl Tol {
             if x != w && self.rank_of[x.index()] < r {
                 continue;
             }
-            let adj =
-                if forward { &self.out_adj[x.index()] } else { &self.in_adj[x.index()] };
+            let adj = if forward {
+                &self.out_adj[x.index()]
+            } else {
+                &self.in_adj[x.index()]
+            };
             for &y in adj {
                 if !seen[y.index()] {
                     seen[y.index()] = true;
@@ -244,14 +256,15 @@ impl Tol {
     /// `end` with `end` usable as an interior vertex — exactly the
     /// hops whose closure an edge at `end` can affect.
     fn affected_hops(&self, end: VertexId, forward: bool) -> Vec<u32> {
-        let labels =
-            if forward { &self.lin[end.index()] } else { &self.lout[end.index()] };
+        let labels = if forward {
+            &self.lin[end.index()]
+        } else {
+            &self.lout[end.index()]
+        };
         labels
             .iter()
             .copied()
-            .filter(|&r| {
-                self.vertex_at[r as usize] == end || self.rank_of[end.index()] > r
-            })
+            .filter(|&r| self.vertex_at[r as usize] == end || self.rank_of[end.index()] > r)
             .collect()
     }
 
@@ -266,8 +279,11 @@ impl Tol {
         while head < queue.len() {
             let x = queue[head];
             head += 1;
-            let labels =
-                if forward { &mut self.lin[x.index()] } else { &mut self.lout[x.index()] };
+            let labels = if forward {
+                &mut self.lin[x.index()]
+            } else {
+                &mut self.lout[x.index()]
+            };
             match labels.binary_search(&r) {
                 Ok(_) => continue, // reached the previously-labeled region
                 Err(pos) => labels.insert(pos, r),
@@ -275,8 +291,11 @@ impl Tol {
             if x != w && self.rank_of[x.index()] < r {
                 continue;
             }
-            let adj =
-                if forward { &self.out_adj[x.index()] } else { &self.in_adj[x.index()] };
+            let adj = if forward {
+                &self.out_adj[x.index()]
+            } else {
+                &self.in_adj[x.index()]
+            };
             for &y in adj {
                 if !seen[y.index()] {
                     seen[y.index()] = true;
@@ -356,8 +375,7 @@ impl ReachIndex for Tol {
     }
 
     fn size_entries(&self) -> usize {
-        self.lin.iter().map(Vec::len).sum::<usize>()
-            + self.lout.iter().map(Vec::len).sum::<usize>()
+        self.lin.iter().map(Vec::len).sum::<usize>() + self.lout.iter().map(Vec::len).sum::<usize>()
     }
 }
 

@@ -6,9 +6,7 @@
 //! paths through non-tree edges are captured. Adjacent or overlapping
 //! intervals are merged for compact storage (§3.1).
 
-use crate::index::{
-    Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex,
-};
+use crate::index::{Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex};
 use crate::interval::SpanningForest;
 use reach_graph::{Dag, VertexId};
 
@@ -54,13 +52,11 @@ impl TreeCover {
     pub fn build(dag: &Dag) -> Self {
         let forest = SpanningForest::build(dag.graph());
         let n = dag.num_vertices();
-        let post: Vec<u32> =
-            (0..n).map(|i| forest.end(VertexId::new(i))).collect();
+        let post: Vec<u32> = (0..n).map(|i| forest.end(VertexId::new(i))).collect();
         let mut intervals: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
 
         for &u in dag.topo_order().iter().rev() {
-            let mut list: Vec<(u32, u32)> =
-                vec![(forest.start(u), forest.end(u))];
+            let mut list: Vec<(u32, u32)> = vec![(forest.start(u), forest.end(u))];
             for &v in dag.out_neighbors(u) {
                 list.extend_from_slice(&intervals[v.index()]);
             }
@@ -153,7 +149,10 @@ mod tests {
         let dag = Dag::new(fixtures::figure1a()).unwrap();
         check_against_tc(&dag);
         let idx = TreeCover::build(&dag);
-        assert!(idx.query(fixtures::A, fixtures::G), "the paper's Qr(A,G)=true");
+        assert!(
+            idx.query(fixtures::A, fixtures::G),
+            "the paper's Qr(A,G)=true"
+        );
         assert!(!idx.query(fixtures::G, fixtures::A));
     }
 

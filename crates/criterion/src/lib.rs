@@ -1,0 +1,329 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of criterion's API its benches use: benchmark
+//! groups with `sample_size` / `measurement_time` / `throughput`,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, and the `criterion_group!` / `criterion_main!`
+//! macros. Measurement is a plain wall-clock loop: warm up once, run
+//! batches of iterations until the measurement budget is spent, and
+//! report mean / min per-iteration time on stdout. No statistics, no
+//! HTML reports — enough to compare techniques and catch regressions
+//! by eye, offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub mod measurement {
+    /// Wall-clock measurement (the only measurement this shim has).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// How `iter_batched` amortizes setup cost. The shim always runs one
+/// setup per routine invocation, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (setup dominates; fewer iterations).
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Declared throughput of a benchmark, echoed in the report line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes, decimal multiples.
+    BytesDecimal(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_id: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepts (and ignores) criterion's CLI arguments.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        let name = name.into();
+        println!("\n== group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 100,
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+            _marker_field: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        run_one(&id.into().id, 100, Duration::from_secs(1), None, &mut f);
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _marker_field: std::marker::PhantomData<M>,
+}
+
+impl<'a, M> BenchmarkGroup<'a, M> {
+    /// Sets the target number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the wall-clock budget for each benchmark in the group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declares the per-iteration throughput (echoed in the report).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(
+            &label,
+            self.sample_size,
+            self.measurement_time,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Drives the measured closure.
+pub struct Bencher {
+    budget: Duration,
+    samples: usize,
+    /// Collected per-iteration times.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly until the sample target or time budget is
+    /// reached.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let started = Instant::now();
+        // one warm-up iteration outside the measurements
+        black_box(f());
+        while self.times.len() < self.samples && started.elapsed() < self.budget {
+            let t = Instant::now();
+            black_box(f());
+            self.times.push(t.elapsed());
+        }
+    }
+
+    /// Times `routine` over fresh values from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+        _size: BatchSize,
+    ) {
+        let started = Instant::now();
+        black_box(routine(setup()));
+        while self.times.len() < self.samples && started.elapsed() < self.budget {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.times.push(t.elapsed());
+        }
+    }
+
+    /// Like [`iter_batched`](Self::iter_batched), but the routine takes
+    /// the input by reference.
+    pub fn iter_batched_ref<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(&mut S) -> O,
+        _size: BatchSize,
+    ) {
+        let started = Instant::now();
+        black_box(routine(&mut setup()));
+        while self.times.len() < self.samples && started.elapsed() < self.budget {
+            let mut input = setup();
+            let t = Instant::now();
+            black_box(routine(&mut input));
+            self.times.push(t.elapsed());
+        }
+    }
+}
+
+fn run_one(
+    label: &str,
+    samples: usize,
+    budget: Duration,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        budget,
+        samples,
+        times: Vec::with_capacity(samples),
+    };
+    f(&mut b);
+    if b.times.is_empty() {
+        println!("{label:<44} (no samples)");
+        return;
+    }
+    let total: Duration = b.times.iter().sum();
+    let mean = total / b.times.len() as u32;
+    let min = *b.times.iter().min().expect("non-empty");
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) => {
+            format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+        None => String::new(),
+    };
+    println!(
+        "{label:<44} mean {:>12?}  min {:>12?}  ({} samples){rate}",
+        mean,
+        min,
+        b.times.len()
+    );
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50));
+        let mut ran = 0u32;
+        group.bench_function("counts", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran >= 5, "warm-up plus samples must run the closure");
+    }
+
+    #[test]
+    fn batched_runs_setup_per_sample() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(4)
+            .measurement_time(Duration::from_millis(50));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::LargeInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

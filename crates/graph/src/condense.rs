@@ -9,6 +9,24 @@
 use crate::digraph::{Dag, DiGraph, DiGraphBuilder};
 use crate::scc::{tarjan_scc, SccDecomposition};
 use crate::vertex::VertexId;
+use std::time::{Duration, Instant};
+
+/// Wall-clock breakdown of one condensation, reported per build by the
+/// pipeline layer (`BuildReport` in `reach-core`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CondenseTiming {
+    /// Time spent in Tarjan's SCC decomposition.
+    pub scc: Duration,
+    /// Time spent assembling the condensed DAG and its topo order.
+    pub assemble: Duration,
+}
+
+impl CondenseTiming {
+    /// Total condensation time.
+    pub fn total(&self) -> Duration {
+        self.scc + self.assemble
+    }
+}
 
 /// A condensed graph: the SCC DAG plus the vertex → component mapping.
 ///
@@ -36,7 +54,18 @@ impl Condensation {
     /// `num_components-1, ..., 1, 0` is a valid topological order of
     /// the condensation — no second sort is needed.
     pub fn new(g: &DiGraph) -> Self {
+        Self::new_timed(g).0
+    }
+
+    /// [`new`](Self::new), additionally reporting how long each phase
+    /// took. The pipeline layer stores the timing alongside the shared
+    /// artifact so every index built on it can report the (single)
+    /// condensation cost.
+    pub fn new_timed(g: &DiGraph) -> (Self, CondenseTiming) {
+        let start = Instant::now();
         let scc = tarjan_scc(g);
+        let scc_time = start.elapsed();
+        let assemble_start = Instant::now();
         let nc = scc.num_components();
         let mut b = DiGraphBuilder::with_capacity(nc, g.num_edges());
         for (u, v) in g.edges() {
@@ -49,7 +78,11 @@ impl Condensation {
         let graph = b.build();
         let order: Vec<VertexId> = (0..nc as u32).rev().map(VertexId).collect();
         let dag = Dag::from_parts(graph, order);
-        Condensation { scc, dag }
+        let timing = CondenseTiming {
+            scc: scc_time,
+            assemble: assemble_start.elapsed(),
+        };
+        (Condensation { scc, dag }, timing)
     }
 
     /// The SCC DAG. Its vertex ids are component ids.
@@ -109,10 +142,7 @@ mod tests {
     #[test]
     fn reachability_is_preserved() {
         // figure-eight-ish general graph
-        let g = DiGraph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
-        );
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]);
         let c = Condensation::new(&g);
         let mut visit = traverse::VisitMap::new(g.num_vertices());
         let mut dag_visit = traverse::VisitMap::new(c.dag().num_vertices());

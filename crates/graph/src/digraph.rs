@@ -4,6 +4,7 @@ use crate::error::GraphError;
 use crate::topo;
 use crate::vertex::VertexId;
 use std::ops::Deref;
+use std::sync::Arc;
 
 /// Mutable builder for [`DiGraph`].
 ///
@@ -20,12 +21,18 @@ pub struct DiGraphBuilder {
 impl DiGraphBuilder {
     /// Creates a builder for a graph with `n` vertices `0..n`.
     pub fn new(n: usize) -> Self {
-        DiGraphBuilder { num_vertices: n, edges: Vec::new() }
+        DiGraphBuilder {
+            num_vertices: n,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates a builder with a capacity hint for the edge list.
     pub fn with_capacity(n: usize, m: usize) -> Self {
-        DiGraphBuilder { num_vertices: n, edges: Vec::with_capacity(m) }
+        DiGraphBuilder {
+            num_vertices: n,
+            edges: Vec::with_capacity(m),
+        }
     }
 
     /// Number of vertices the built graph will have.
@@ -46,7 +53,8 @@ impl DiGraphBuilder {
     /// Panics if either endpoint is out of bounds; use
     /// [`try_add_edge`](Self::try_add_edge) for fallible insertion.
     pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
-        self.try_add_edge(u, v).expect("edge endpoint out of bounds");
+        self.try_add_edge(u, v)
+            .expect("edge endpoint out of bounds");
     }
 
     /// Adds the directed edge `u -> v`, checking bounds.
@@ -132,7 +140,12 @@ impl DiGraph {
             in_sources[*i as usize] = VertexId(u);
             *i += 1;
         }
-        DiGraph { out_offsets, out_targets, in_offsets, in_sources }
+        DiGraph {
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        }
     }
 
     /// Number of vertices.
@@ -225,9 +238,14 @@ impl DiGraph {
 /// input; this wrapper makes that precondition explicit and un-forgeable.
 /// General graphs are handled by condensing SCCs first
 /// (see [`crate::condense`]), exactly as §3.1 of the survey describes.
+///
+/// The graph is held behind an [`Arc`] so builders that retain the
+/// vertex set (guided search, hop labelings over the original edges)
+/// can share one allocation via [`shared_graph`](Self::shared_graph)
+/// instead of deep-cloning the CSR arrays per index.
 #[derive(Debug, Clone)]
 pub struct Dag {
-    graph: DiGraph,
+    graph: Arc<DiGraph>,
     topo_order: Vec<VertexId>,
     /// position of each vertex in `topo_order`
     topo_rank: Vec<u32>,
@@ -236,13 +254,23 @@ pub struct Dag {
 impl Dag {
     /// Checks acyclicity and wraps the graph.
     pub fn new(graph: DiGraph) -> Result<Self, GraphError> {
+        Self::new_shared(Arc::new(graph))
+    }
+
+    /// Checks acyclicity and wraps an already-shared graph without
+    /// copying it.
+    pub fn new_shared(graph: Arc<DiGraph>) -> Result<Self, GraphError> {
         match topo::topological_sort(&graph) {
             Some(order) => {
                 let mut rank = vec![0u32; graph.num_vertices()];
                 for (i, &v) in order.iter().enumerate() {
                     rank[v.index()] = i as u32;
                 }
-                Ok(Dag { graph, topo_order: order, topo_rank: rank })
+                Ok(Dag {
+                    graph,
+                    topo_order: order,
+                    topo_rank: rank,
+                })
             }
             None => Err(GraphError::NotAcyclic),
         }
@@ -255,12 +283,24 @@ impl Dag {
     /// # Panics
     /// Debug-asserts that `order` is a topological order of `graph`.
     pub fn from_parts(graph: DiGraph, order: Vec<VertexId>) -> Self {
+        Self::from_parts_shared(Arc::new(graph), order)
+    }
+
+    /// [`from_parts`](Self::from_parts) over an already-shared graph.
+    ///
+    /// # Panics
+    /// Debug-asserts that `order` is a topological order of `graph`.
+    pub fn from_parts_shared(graph: Arc<DiGraph>, order: Vec<VertexId>) -> Self {
         debug_assert!(topo::is_topological_order(&graph, &order));
         let mut rank = vec![0u32; graph.num_vertices()];
         for (i, &v) in order.iter().enumerate() {
             rank[v.index()] = i as u32;
         }
-        Dag { graph, topo_order: order, topo_rank: rank }
+        Dag {
+            graph,
+            topo_order: order,
+            topo_rank: rank,
+        }
     }
 
     /// The vertices in topological order (sources first).
@@ -281,9 +321,17 @@ impl Dag {
         &self.graph
     }
 
-    /// Consumes the wrapper, returning the underlying graph.
+    /// A shared handle to the underlying graph. Cloning the handle is
+    /// O(1); every clone points at the same CSR arrays.
+    #[inline]
+    pub fn shared_graph(&self) -> Arc<DiGraph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// Consumes the wrapper, returning the underlying graph (cloning
+    /// only if other handles to it are still alive).
     pub fn into_graph(self) -> DiGraph {
-        self.graph
+        Arc::try_unwrap(self.graph).unwrap_or_else(|shared| (*shared).clone())
     }
 }
 
@@ -359,7 +407,13 @@ mod tests {
     fn builder_rejects_out_of_bounds() {
         let mut b = DiGraphBuilder::new(1);
         let err = b.try_add_edge(VertexId(0), VertexId(5)).unwrap_err();
-        assert_eq!(err, GraphError::VertexOutOfBounds { vertex: 5, num_vertices: 1 });
+        assert_eq!(
+            err,
+            GraphError::VertexOutOfBounds {
+                vertex: 5,
+                num_vertices: 1
+            }
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::VertexOutOfBounds { vertex, num_vertices } => write!(
+            GraphError::VertexOutOfBounds {
+                vertex,
+                num_vertices,
+            } => write!(
                 f,
                 "vertex id {vertex} out of bounds for graph with {num_vertices} vertices"
             ),
@@ -56,12 +59,18 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = GraphError::VertexOutOfBounds { vertex: 9, num_vertices: 3 };
+        let e = GraphError::VertexOutOfBounds {
+            vertex: 9,
+            num_vertices: 3,
+        };
         assert!(e.to_string().contains("vertex id 9"));
         assert!(GraphError::NotAcyclic.to_string().contains("cycle"));
         let e = GraphError::LabelOutOfRange { label: 99 };
         assert!(e.to_string().contains("99"));
-        let e = GraphError::Parse { line: 2, message: "bad".into() };
+        let e = GraphError::Parse {
+            line: 2,
+            message: "bad".into(),
+        };
         assert!(e.to_string().contains("line 2"));
     }
 }

@@ -69,8 +69,7 @@ pub fn figure1a() -> DiGraph {
 
 /// The edge-labeled graph of Figure 1(b).
 pub fn figure1b() -> LabeledGraph {
-    let edges: Vec<(u32, u8, u32)> =
-        EDGES.iter().map(|&(u, l, v)| (u.0, l.0, v.0)).collect();
+    let edges: Vec<(u32, u8, u32)> = EDGES.iter().map(|&(u, l, v)| (u.0, l.0, v.0)).collect();
     LabeledGraph::from_edges(NUM_VERTICES, NUM_LABELS, &edges)
 }
 

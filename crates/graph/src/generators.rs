@@ -30,12 +30,7 @@ pub fn random_dag<R: Rng>(n: usize, m: usize, rng: &mut R) -> Dag {
 /// A layered DAG: `layers` layers of `width` vertices; each vertex gets
 /// edges to `fan_out` random vertices in the next layer. This is the
 /// deep, narrow shape where topological-level filters prune best.
-pub fn layered_dag<R: Rng>(
-    layers: usize,
-    width: usize,
-    fan_out: usize,
-    rng: &mut R,
-) -> Dag {
+pub fn layered_dag<R: Rng>(layers: usize, width: usize, fan_out: usize, rng: &mut R) -> Dag {
     assert!(layers >= 1 && width >= 1);
     let n = layers * width;
     let mut b = DiGraphBuilder::with_capacity(n, n * fan_out);
@@ -245,18 +240,15 @@ mod tests {
         for (_, l, _) in lg.edges() {
             counts[l.index()] += 1;
         }
-        assert!(counts[0] > 2 * counts[7], "label 0 should dominate: {counts:?}");
+        assert!(
+            counts[0] > 2 * counts[7],
+            "label 0 should dominate: {counts:?}"
+        );
     }
 
     #[test]
     fn uniform_labels_cover_alphabet() {
-        let lg = random_labeled_digraph(
-            100,
-            800,
-            4,
-            LabelDistribution::Uniform,
-            &mut rng(),
-        );
+        let lg = random_labeled_digraph(100, 800, 4, LabelDistribution::Uniform, &mut rng());
         let mut seen = [false; 4];
         for (_, l, _) in lg.edges() {
             seen[l.index()] = true;

@@ -18,7 +18,10 @@ use crate::vertex::VertexId;
 use std::fmt::Write as _;
 
 fn parse_err(line: usize, message: impl Into<String>) -> GraphError {
-    GraphError::Parse { line, message: message.into() }
+    GraphError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 fn significant_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
@@ -29,7 +32,8 @@ fn significant_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
 }
 
 fn parse_u32(tok: &str, line: usize, what: &str) -> Result<u32, GraphError> {
-    tok.parse::<u32>().map_err(|_| parse_err(line, format!("invalid {what}: {tok:?}")))
+    tok.parse::<u32>()
+        .map_err(|_| parse_err(line, format!("invalid {what}: {tok:?}")))
 }
 
 /// Serializes a plain digraph to the edge-list format.
@@ -45,14 +49,25 @@ pub fn write_digraph(g: &DiGraph) -> String {
 /// Parses a plain digraph from the edge-list format.
 pub fn read_digraph(text: &str) -> Result<DiGraph, GraphError> {
     let mut lines = significant_lines(text);
-    let (lno, header) =
-        lines.next().ok_or_else(|| parse_err(0, "missing header line"))?;
+    let (lno, header) = lines
+        .next()
+        .ok_or_else(|| parse_err(0, "missing header line"))?;
     let n = parse_u32(header, lno, "vertex count")? as usize;
     let mut b = DiGraphBuilder::new(n);
     for (lno, line) in lines {
         let mut toks = line.split_whitespace();
-        let u = parse_u32(toks.next().ok_or_else(|| parse_err(lno, "missing source"))?, lno, "source")?;
-        let v = parse_u32(toks.next().ok_or_else(|| parse_err(lno, "missing target"))?, lno, "target")?;
+        let u = parse_u32(
+            toks.next()
+                .ok_or_else(|| parse_err(lno, "missing source"))?,
+            lno,
+            "source",
+        )?;
+        let v = parse_u32(
+            toks.next()
+                .ok_or_else(|| parse_err(lno, "missing target"))?,
+            lno,
+            "target",
+        )?;
         if toks.next().is_some() {
             return Err(parse_err(lno, "trailing tokens on edge line"));
         }
@@ -75,20 +90,45 @@ pub fn write_labeled(g: &LabeledGraph) -> String {
 /// Parses a labeled digraph from the edge-list format.
 pub fn read_labeled(text: &str) -> Result<LabeledGraph, GraphError> {
     let mut lines = significant_lines(text);
-    let (lno, header) =
-        lines.next().ok_or_else(|| parse_err(0, "missing header line"))?;
+    let (lno, header) = lines
+        .next()
+        .ok_or_else(|| parse_err(0, "missing header line"))?;
     let mut toks = header.split_whitespace();
-    let n = parse_u32(toks.next().ok_or_else(|| parse_err(lno, "missing vertex count"))?, lno, "vertex count")? as usize;
-    let k = parse_u32(toks.next().ok_or_else(|| parse_err(lno, "missing label count"))?, lno, "label count")? as usize;
+    let n = parse_u32(
+        toks.next()
+            .ok_or_else(|| parse_err(lno, "missing vertex count"))?,
+        lno,
+        "vertex count",
+    )? as usize;
+    let k = parse_u32(
+        toks.next()
+            .ok_or_else(|| parse_err(lno, "missing label count"))?,
+        lno,
+        "label count",
+    )? as usize;
     if k > crate::labeled::MAX_LABELS {
         return Err(parse_err(lno, format!("label alphabet {k} exceeds 64")));
     }
     let mut b = LabeledGraphBuilder::new(n, k);
     for (lno, line) in lines {
         let mut toks = line.split_whitespace();
-        let u = parse_u32(toks.next().ok_or_else(|| parse_err(lno, "missing source"))?, lno, "source")?;
-        let l = parse_u32(toks.next().ok_or_else(|| parse_err(lno, "missing label"))?, lno, "label")?;
-        let v = parse_u32(toks.next().ok_or_else(|| parse_err(lno, "missing target"))?, lno, "target")?;
+        let u = parse_u32(
+            toks.next()
+                .ok_or_else(|| parse_err(lno, "missing source"))?,
+            lno,
+            "source",
+        )?;
+        let l = parse_u32(
+            toks.next().ok_or_else(|| parse_err(lno, "missing label"))?,
+            lno,
+            "label",
+        )?;
+        let v = parse_u32(
+            toks.next()
+                .ok_or_else(|| parse_err(lno, "missing target"))?,
+            lno,
+            "target",
+        )?;
         if toks.next().is_some() {
             return Err(parse_err(lno, "trailing tokens on edge line"));
         }

@@ -178,7 +178,11 @@ impl LabeledGraphBuilder {
     /// Panics if `k > 64`.
     pub fn new(n: usize, k: usize) -> Self {
         assert!(k <= MAX_LABELS, "label alphabet capped at {MAX_LABELS}");
-        LabeledGraphBuilder { num_vertices: n, num_labels: k, edges: Vec::new() }
+        LabeledGraphBuilder {
+            num_vertices: n,
+            num_labels: k,
+            edges: Vec::new(),
+        }
     }
 
     /// Adds a fresh vertex and returns its id.
@@ -198,12 +202,7 @@ impl LabeledGraphBuilder {
     }
 
     /// Adds the labeled edge `u -l-> v`, checking bounds.
-    pub fn try_add_edge(
-        &mut self,
-        u: VertexId,
-        l: Label,
-        v: VertexId,
-    ) -> Result<(), GraphError> {
+    pub fn try_add_edge(&mut self, u: VertexId, l: Label, v: VertexId) -> Result<(), GraphError> {
         for w in [u, v] {
             if w.index() >= self.num_vertices {
                 return Err(GraphError::VertexOutOfBounds {
@@ -315,17 +314,13 @@ impl LabeledGraph {
 
     /// Iterator over all edges as `(source, label, target)`.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, Label, VertexId)> + '_ {
-        self.vertices().flat_map(move |u| {
-            self.out_edges(u).map(move |(v, l)| (u, l, v))
-        })
+        self.vertices()
+            .flat_map(move |u| self.out_edges(u).map(move |(v, l)| (u, l, v)))
     }
 
     /// Out-edges of `v` as `(target, label)` pairs.
     #[inline]
-    pub fn out_edges(
-        &self,
-        v: VertexId,
-    ) -> impl Iterator<Item = (VertexId, Label)> + '_ {
+    pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Label)> + '_ {
         let lo = self.out_offsets[v.index()] as usize;
         let hi = self.out_offsets[v.index() + 1] as usize;
         self.out_targets[lo..hi]
@@ -336,10 +331,7 @@ impl LabeledGraph {
 
     /// In-edges of `v` as `(source, label)` pairs.
     #[inline]
-    pub fn in_edges(
-        &self,
-        v: VertexId,
-    ) -> impl Iterator<Item = (VertexId, Label)> + '_ {
+    pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Label)> + '_ {
         let lo = self.in_offsets[v.index()] as usize;
         let hi = self.in_offsets[v.index() + 1] as usize;
         self.in_sources[lo..hi]
@@ -414,10 +406,7 @@ mod tests {
         assert!(LabelSet::singleton(a).is_subset_of(s));
         assert!(!s.is_subset_of(LabelSet::singleton(a)));
         assert_eq!(s.intersect(LabelSet::singleton(b)), LabelSet::singleton(b));
-        assert_eq!(
-            LabelSet::singleton(a).union(LabelSet::singleton(b)),
-            s
-        );
+        assert_eq!(LabelSet::singleton(a).union(LabelSet::singleton(b)), s);
         assert!(LabelSet::EMPTY.is_empty());
         assert_eq!(LabelSet::full(3).len(), 3);
         assert_eq!(LabelSet::full(64).len(), 64);

@@ -31,6 +31,7 @@ pub mod fixtures;
 pub mod generators;
 pub mod io;
 pub mod labeled;
+pub mod prepare;
 pub mod reduction;
 pub mod scc;
 pub mod stats;
@@ -38,10 +39,11 @@ pub mod topo;
 pub mod traverse;
 pub mod vertex;
 
-pub use condense::Condensation;
+pub use condense::{Condensation, CondenseTiming};
 pub use digraph::{Dag, DiGraph, DiGraphBuilder};
 pub use error::GraphError;
 pub use labeled::{Label, LabelSet, LabeledGraph, LabeledGraphBuilder};
+pub use prepare::PreparedGraph;
 pub use scc::SccDecomposition;
 pub use traverse::VisitMap;
 pub use vertex::VertexId;

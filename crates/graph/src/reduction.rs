@@ -52,10 +52,16 @@ pub fn transitive_reduction(dag: &Dag) -> DiGraph {
         for v in neighbors {
             let (head, tail) = if u.index() < v.index() {
                 let (a, b) = closure.split_at_mut(v.index() * words);
-                (&mut a[u.index() * words..u.index() * words + words], &b[..words])
+                (
+                    &mut a[u.index() * words..u.index() * words + words],
+                    &b[..words],
+                )
             } else {
                 let (a, b) = closure.split_at_mut(u.index() * words);
-                (&mut b[..words], &a[v.index() * words..v.index() * words + words] as &[u64])
+                (
+                    &mut b[..words],
+                    &a[v.index() * words..v.index() * words + words] as &[u64],
+                )
             };
             for w in 0..words {
                 head[w] |= tail[w];
@@ -104,7 +110,10 @@ pub fn equivalence_reduction(g: &DiGraph) -> EquivalenceReduction {
     for (u, v) in g.edges() {
         b.add_edge(class_of[u.index()], class_of[v.index()]);
     }
-    EquivalenceReduction { graph: b.build(), class_of }
+    EquivalenceReduction {
+        graph: b.build(),
+        class_of,
+    }
 }
 
 #[cfg(test)]
@@ -126,7 +135,17 @@ mod tests {
     fn reduction_preserves_reachability() {
         let g = DiGraph::from_edges(
             6,
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (0, 3), (3, 4), (1, 4), (4, 5), (0, 5)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (0, 3),
+                (3, 4),
+                (1, 4),
+                (4, 5),
+                (0, 5),
+            ],
         );
         let dag = Dag::new(g.clone()).unwrap();
         let r = transitive_reduction(&dag);

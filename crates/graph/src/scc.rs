@@ -94,8 +94,7 @@ pub fn tarjan_scc(g: &DiGraph) -> SccDecomposition {
             } else {
                 call.pop();
                 if let Some(&(parent, _)) = call.last() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[v as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {
                     // v is the root of a component: pop it off the Tarjan stack.
@@ -113,7 +112,10 @@ pub fn tarjan_scc(g: &DiGraph) -> SccDecomposition {
         }
     }
 
-    SccDecomposition { comp_of, num_components: num_components as usize }
+    SccDecomposition {
+        comp_of,
+        num_components: num_components as usize,
+    }
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! Workload statistics for bench-harness reporting.
 
 use crate::digraph::DiGraph;
-use crate::scc::tarjan_scc;
+use crate::scc::{tarjan_scc, SccDecomposition};
 use crate::topo::topological_levels;
 
 /// Structural statistics of a digraph, printed alongside every
@@ -30,9 +30,14 @@ pub struct GraphStats {
 
 /// Computes [`GraphStats`] for `g`.
 pub fn graph_stats(g: &DiGraph) -> GraphStats {
+    graph_stats_with_scc(g, &tarjan_scc(g))
+}
+
+/// [`graph_stats`] reusing an SCC decomposition computed elsewhere
+/// (the prepared-graph layer memoizes one per graph).
+pub fn graph_stats_with_scc(g: &DiGraph, scc: &SccDecomposition) -> GraphStats {
     let n = g.num_vertices();
     let m = g.num_edges();
-    let scc = tarjan_scc(g);
     let mut sizes = vec![0usize; scc.num_components()];
     for v in g.vertices() {
         sizes[scc.component_of(v) as usize] += 1;

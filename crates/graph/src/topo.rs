@@ -11,9 +11,10 @@ use crate::vertex::VertexId;
 /// valid order serves the indexes).
 pub fn topological_sort(g: &DiGraph) -> Option<Vec<VertexId>> {
     let n = g.num_vertices();
-    let mut in_deg: Vec<u32> = (0..n).map(|v| g.in_degree(VertexId::new(v)) as u32).collect();
-    let mut queue: Vec<VertexId> =
-        g.vertices().filter(|&v| in_deg[v.index()] == 0).collect();
+    let mut in_deg: Vec<u32> = (0..n)
+        .map(|v| g.in_degree(VertexId::new(v)) as u32)
+        .collect();
+    let mut queue: Vec<VertexId> = g.vertices().filter(|&v| in_deg[v.index()] == 0).collect();
     let mut order = Vec::with_capacity(n);
     let mut head = 0;
     while head < queue.len() {

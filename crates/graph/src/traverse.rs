@@ -33,7 +33,10 @@ impl VisitMap {
     pub fn new(n: usize) -> Self {
         // epoch starts at 2 so that a zeroed stamp never matches
         // either the forward mark (epoch) or the backward mark (epoch+1)
-        VisitMap { stamp: vec![0; n], epoch: 2 }
+        VisitMap {
+            stamp: vec![0; n],
+            epoch: 2,
+        }
     }
 
     /// Starts a fresh traversal: all vertices become unvisited.
@@ -210,8 +213,11 @@ fn closure(g: &DiGraph, s: VertexId, forward: bool) -> Vec<VertexId> {
     while head < out.len() {
         let u = out[head];
         head += 1;
-        let neighbors =
-            if forward { g.out_neighbors(u) } else { g.in_neighbors(u) };
+        let neighbors = if forward {
+            g.out_neighbors(u)
+        } else {
+            g.in_neighbors(u)
+        };
         for &v in neighbors {
             if !seen[v.index()] {
                 seen[v.index()] = true;
@@ -307,10 +313,16 @@ mod tests {
         let g = chain_and_branch();
         let mut fwd = forward_closure(&g, VertexId(1));
         fwd.sort();
-        assert_eq!(fwd, vec![VertexId(1), VertexId(2), VertexId(3), VertexId(4)]);
+        assert_eq!(
+            fwd,
+            vec![VertexId(1), VertexId(2), VertexId(3), VertexId(4)]
+        );
         let mut bwd = backward_closure(&g, VertexId(3));
         bwd.sort();
-        assert_eq!(bwd, vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]);
+        assert_eq!(
+            bwd,
+            vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]
+        );
     }
 
     #[test]

@@ -12,8 +12,7 @@
 //! is precisely the design axis §4.1.1 contrasts.
 
 use crate::lcr::{
-    Completeness, ConstraintClass, Dynamism, InputClass, LabeledIndexMeta, LcrFramework,
-    LcrIndex,
+    Completeness, ConstraintClass, Dynamism, InputClass, LabeledIndexMeta, LcrFramework, LcrIndex,
 };
 use reach_graph::{Label, LabelSet, LabeledGraph, VertexId};
 use std::cell::RefCell;
@@ -102,14 +101,16 @@ impl ChenIndex {
             counts,
             summary,
             num_labels: k,
-            scratch: RefCell::new(Scratch { seen: vec![false; n], stack: Vec::new() }),
+            scratch: RefCell::new(Scratch {
+                seen: vec![false; n],
+                stack: Vec::new(),
+            }),
         }
     }
 
     #[inline]
     fn tree_contains(&self, s: VertexId, t: VertexId) -> bool {
-        self.start[s.index()] <= self.end[t.index()]
-            && self.end[t.index()] <= self.end[s.index()]
+        self.start[s.index()] <= self.end[t.index()] && self.end[t.index()] <= self.end[s.index()]
     }
 
     /// Tree segment check: `t` in `s`'s subtree with path labels ⊆ allowed.
@@ -182,9 +183,7 @@ impl LcrIndex for ChenIndex {
     }
 
     fn size_bytes(&self) -> usize {
-        8 * self.start.len()
-            + 2 * self.num_labels * self.counts.len()
-            + 16 * self.summary.len()
+        8 * self.start.len() + 2 * self.num_labels * self.counts.len() + 16 * self.summary.len()
     }
 
     fn size_entries(&self) -> usize {

@@ -132,7 +132,10 @@ impl<'a> Parser<'a> {
     }
 
     fn here(&self) -> usize {
-        self.tokens.get(self.pos).map(|&(p, _)| p).unwrap_or(self.input_len)
+        self.tokens
+            .get(self.pos)
+            .map(|&(p, _)| p)
+            .unwrap_or(self.input_len)
     }
 
     fn bump(&mut self) -> Option<Token> {
@@ -198,10 +201,12 @@ impl<'a> Parser<'a> {
                         position,
                         message: format!("unknown label {name:?}"),
                     })?;
-                Label::try_new(idx as u32).map(Ast::Label).map_err(|_| ParseError {
-                    position,
-                    message: format!("label index {idx} out of range"),
-                })
+                Label::try_new(idx as u32)
+                    .map(Ast::Label)
+                    .map_err(|_| ParseError {
+                        position,
+                        message: format!("label index {idx} out of range"),
+                    })
             }
             Some(Token::LParen) => {
                 let inner = self.alt()?;
@@ -242,10 +247,18 @@ impl<'a> Parser<'a> {
 /// ```
 pub fn parse(input: &str, alphabet: &[&str]) -> Result<Ast, ParseError> {
     let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, pos: 0, alphabet, input_len: input.len() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        alphabet,
+        input_len: input.len(),
+    };
     let ast = p.alt()?;
     if p.pos != p.tokens.len() {
-        return Err(ParseError { position: p.here(), message: "trailing input".into() });
+        return Err(ParseError {
+            position: p.here(),
+            message: "trailing input".into(),
+        });
     }
     Ok(ast)
 }
@@ -268,9 +281,7 @@ impl Ast {
     fn as_label_alternation(&self) -> Option<LabelSet> {
         match self {
             Ast::Label(l) => Some(LabelSet::singleton(*l)),
-            Ast::Alt(a, b) => {
-                Some(a.as_label_alternation()?.union(b.as_label_alternation()?))
-            }
+            Ast::Alt(a, b) => Some(a.as_label_alternation()?.union(b.as_label_alternation()?)),
             _ => None,
         }
     }
@@ -301,7 +312,11 @@ pub struct Nfa {
 impl Nfa {
     /// Compiles an AST with Thompson's construction.
     pub fn compile(ast: &Ast) -> Self {
-        let mut nfa = Nfa { transitions: Vec::new(), start: 0, accept: 0 };
+        let mut nfa = Nfa {
+            transitions: Vec::new(),
+            start: 0,
+            accept: 0,
+        };
         let (s, a) = nfa.build(ast);
         nfa.start = s;
         nfa.accept = a;
@@ -412,10 +427,7 @@ impl Nfa {
         let mut current = vec![self.start];
         self.epsilon_closure(&mut current);
         for &l in word {
-            let mut next: Vec<u32> = current
-                .iter()
-                .flat_map(|&s| self.step(s, l))
-                .collect();
+            let mut next: Vec<u32> = current.iter().flat_map(|&s| self.step(s, l)).collect();
             next.sort_unstable();
             next.dedup();
             self.epsilon_closure(&mut next);
@@ -440,8 +452,11 @@ mod tests {
 
     #[test]
     fn parses_the_papers_example() {
-        let ast = parse("(friendOf ∪ follows)*", &["friendOf", "follows", "worksFor"])
-            .unwrap();
+        let ast = parse(
+            "(friendOf ∪ follows)*",
+            &["friendOf", "follows", "worksFor"],
+        )
+        .unwrap();
         match ast.classify() {
             ConstraintKind::Alternation(set) => {
                 assert!(set.contains(l(0)) && set.contains(l(1)));
@@ -453,9 +468,15 @@ mod tests {
 
     #[test]
     fn parses_concatenation() {
-        let ast = parse("(worksFor · friendOf)*", &["friendOf", "follows", "worksFor"])
-            .unwrap();
-        assert_eq!(ast.classify(), ConstraintKind::Concatenation(vec![l(2), l(0)]));
+        let ast = parse(
+            "(worksFor · friendOf)*",
+            &["friendOf", "follows", "worksFor"],
+        )
+        .unwrap();
+        assert_eq!(
+            ast.classify(),
+            ConstraintKind::Concatenation(vec![l(2), l(0)])
+        );
     }
 
     #[test]
@@ -471,20 +492,27 @@ mod tests {
     #[test]
     fn numeric_labels_work() {
         let ast = parse("(0 | 2)*", AB).unwrap();
-        assert_eq!(ast.classify(), ConstraintKind::Alternation(
-            LabelSet::from_labels([l(0), l(2)])
-        ));
+        assert_eq!(
+            ast.classify(),
+            ConstraintKind::Alternation(LabelSet::from_labels([l(0), l(2)]))
+        );
     }
 
     #[test]
     fn general_constraints_classify_as_general() {
         assert_eq!(parse("a", AB).unwrap().classify(), ConstraintKind::General);
-        assert_eq!(parse("(a·b)+", AB).unwrap().classify(), ConstraintKind::General);
+        assert_eq!(
+            parse("(a·b)+", AB).unwrap().classify(),
+            ConstraintKind::General
+        );
         assert_eq!(
             parse("(a ∪ b·c)*", AB).unwrap().classify(),
             ConstraintKind::General
         );
-        assert_eq!(parse("a*·b", AB).unwrap().classify(), ConstraintKind::General);
+        assert_eq!(
+            parse("a*·b", AB).unwrap().classify(),
+            ConstraintKind::General
+        );
     }
 
     #[test]

@@ -15,8 +15,7 @@
 //! argument; cf. [`reach_core::tol`] for the plain-graph analogue).
 
 use crate::lcr::{
-    Completeness, ConstraintClass, Dynamism, InputClass, LabeledIndexMeta, LcrFramework,
-    LcrIndex,
+    Completeness, ConstraintClass, Dynamism, InputClass, LabeledIndexMeta, LcrFramework, LcrIndex,
 };
 use crate::p2h::{entries_join, entry_insert, entry_present, LabelEntry};
 use reach_graph::{Label, LabelSet, LabeledGraph, VertexId};
@@ -112,9 +111,7 @@ impl Dlcr {
         table[end.index()]
             .iter()
             .copied()
-            .filter(|&(r, _)| {
-                self.vertex_at[r as usize] == end || self.rank_of[end.index()] > r
-            })
+            .filter(|&(r, _)| self.vertex_at[r as usize] == end || self.rank_of[end.index()] > r)
             .collect()
     }
 
@@ -139,10 +136,21 @@ impl Dlcr {
         let Some(p) = self.out_adj[u.index()].iter().position(|&e| e == (v, l)) else {
             return;
         };
-        let fwd: Vec<u32> = self.affected_hops(u, true).into_iter().map(|(r, _)| r).collect();
-        let bwd: Vec<u32> = self.affected_hops(v, false).into_iter().map(|(r, _)| r).collect();
+        let fwd: Vec<u32> = self
+            .affected_hops(u, true)
+            .into_iter()
+            .map(|(r, _)| r)
+            .collect();
+        let bwd: Vec<u32> = self
+            .affected_hops(v, false)
+            .into_iter()
+            .map(|(r, _)| r)
+            .collect();
         self.out_adj[u.index()].remove(p);
-        let q = self.in_adj[v.index()].iter().position(|&e| e == (u, l)).unwrap();
+        let q = self.in_adj[v.index()]
+            .iter()
+            .position(|&e| e == (u, l))
+            .unwrap();
         self.in_adj[v.index()].remove(q);
         let mut hops: Vec<u32> = fwd.into_iter().chain(bwd).collect();
         hops.sort_unstable();
@@ -179,8 +187,7 @@ impl LcrIndex for Dlcr {
     }
 
     fn size_entries(&self) -> usize {
-        self.lin.iter().map(Vec::len).sum::<usize>()
-            + self.lout.iter().map(Vec::len).sum::<usize>()
+        self.lin.iter().map(Vec::len).sum::<usize>() + self.lout.iter().map(Vec::len).sum::<usize>()
     }
 }
 
@@ -229,8 +236,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(262);
         let g = random_labeled_digraph(15, 25, 3, LabelDistribution::Uniform, &mut rng);
         let mut idx = Dlcr::build(&g);
-        let mut edges: Vec<(u32, u8, u32)> =
-            g.edges().map(|(u, l, v)| (u.0, l.0, v.0)).collect();
+        let mut edges: Vec<(u32, u8, u32)> = g.edges().map(|(u, l, v)| (u.0, l.0, v.0)).collect();
         for _ in 0..15 {
             let u = rng.random_range(0..15u32);
             let mut v = rng.random_range(0..14u32);
@@ -252,8 +258,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(263);
         let g = random_labeled_digraph(14, 45, 3, LabelDistribution::Uniform, &mut rng);
         let mut idx = Dlcr::build(&g);
-        let mut edges: Vec<(u32, u8, u32)> =
-            g.edges().map(|(u, l, v)| (u.0, l.0, v.0)).collect();
+        let mut edges: Vec<(u32, u8, u32)> = g.edges().map(|(u, l, v)| (u.0, l.0, v.0)).collect();
         for _ in 0..20 {
             if edges.is_empty() {
                 break;
@@ -271,8 +276,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(264);
         let g = random_labeled_digraph(12, 24, 2, LabelDistribution::Uniform, &mut rng);
         let mut idx = Dlcr::build(&g);
-        let mut edges: Vec<(u32, u8, u32)> =
-            g.edges().map(|(u, l, v)| (u.0, l.0, v.0)).collect();
+        let mut edges: Vec<(u32, u8, u32)> = g.edges().map(|(u, l, v)| (u.0, l.0, v.0)).collect();
         for _ in 0..30 {
             if rng.random_bool(0.5) || edges.is_empty() {
                 let u = rng.random_range(0..12u32);

@@ -12,8 +12,7 @@
 //! label-constrained BFS).
 
 use crate::lcr::{
-    Completeness, ConstraintClass, Dynamism, InputClass, LabeledIndexMeta, LcrFramework,
-    LcrIndex,
+    Completeness, ConstraintClass, Dynamism, InputClass, LabeledIndexMeta, LcrFramework, LcrIndex,
 };
 use crate::spls::SplsSet;
 use crate::zou::single_source_gtc;
@@ -30,7 +29,9 @@ impl GtcIndex {
     /// Builds the GTC by running the single-source computation from
     /// every vertex.
     pub fn build(g: &LabeledGraph) -> Self {
-        GtcIndex { rows: g.vertices().map(|s| single_source_gtc(g, s)).collect() }
+        GtcIndex {
+            rows: g.vertices().map(|s| single_source_gtc(g, s)).collect(),
+        }
     }
 
     /// The SPLS antichain for the pair `(s, t)`.

@@ -10,8 +10,7 @@
 //! partial GTC materialized from the head of every non-tree edge.
 
 use crate::lcr::{
-    Completeness, ConstraintClass, Dynamism, InputClass, LabeledIndexMeta, LcrFramework,
-    LcrIndex,
+    Completeness, ConstraintClass, Dynamism, InputClass, LabeledIndexMeta, LcrFramework, LcrIndex,
 };
 use crate::spls::SplsSet;
 use crate::zou::single_source_gtc;
@@ -101,14 +100,20 @@ impl JinIndex {
             .map(|h| (h, single_source_gtc(g, h)))
             .collect();
 
-        JinIndex { start, end, counts, non_tree, head_rows, num_labels: k }
+        JinIndex {
+            start,
+            end,
+            counts,
+            non_tree,
+            head_rows,
+            num_labels: k,
+        }
     }
 
     /// Whether `t` is in the tree subtree of `s`.
     #[inline]
     fn tree_contains(&self, s: VertexId, t: VertexId) -> bool {
-        self.start[s.index()] <= self.end[t.index()]
-            && self.end[t.index()] <= self.end[s.index()]
+        self.start[s.index()] <= self.end[t.index()] && self.end[t.index()] <= self.end[s.index()]
     }
 
     /// Label set of the unique tree path `s → t` (requires
@@ -142,8 +147,7 @@ impl LcrIndex for JinIndex {
             return true;
         }
         // case 1: pure tree path
-        if self.tree_contains(s, t) && self.tree_path_labels(s, t).is_subset_of(allowed)
-        {
+        if self.tree_contains(s, t) && self.tree_path_labels(s, t).is_subset_of(allowed) {
             return true;
         }
         // case 2: tree prefix to the tail of a non-tree edge, then the
@@ -152,8 +156,8 @@ impl LcrIndex for JinIndex {
             if !allowed.contains(l) {
                 continue;
             }
-            let prefix_ok = self.tree_contains(s, u)
-                && self.tree_path_labels(s, u).is_subset_of(allowed);
+            let prefix_ok =
+                self.tree_contains(s, u) && self.tree_path_labels(s, u).is_subset_of(allowed);
             if !prefix_ok {
                 continue;
             }

@@ -19,8 +19,7 @@
 //! landmark GTC without any traversal.
 
 use crate::lcr::{
-    Completeness, ConstraintClass, Dynamism, InputClass, LabeledIndexMeta, LcrFramework,
-    LcrIndex,
+    Completeness, ConstraintClass, Dynamism, InputClass, LabeledIndexMeta, LcrFramework, LcrIndex,
 };
 use crate::spls::SplsSet;
 use crate::zou::single_source_gtc;
@@ -88,7 +87,10 @@ impl LandmarkIndex {
             slot_of,
             gtc,
             shortcuts,
-            scratch: RefCell::new(Scratch { seen: vec![false; n], queue: Vec::new() }),
+            scratch: RefCell::new(Scratch {
+                seen: vec![false; n],
+                queue: Vec::new(),
+            }),
         }
     }
 
@@ -119,9 +121,7 @@ impl LcrIndex for LandmarkIndex {
         }
         // shortcut check: s ⇝ landmark ⇝ t entirely by lookup
         for (slot, to_lm) in &self.shortcuts[s.index()] {
-            if to_lm.satisfies(allowed)
-                && self.gtc[*slot as usize][t.index()].satisfies(allowed)
-            {
+            if to_lm.satisfies(allowed) && self.gtc[*slot as usize][t.index()].satisfies(allowed) {
                 return true;
             }
         }
@@ -246,11 +246,7 @@ mod tests {
         let idx = LandmarkIndex::build(g.clone(), 0);
         assert_eq!(idx.num_landmarks(), 0);
         assert_eq!(idx.size_entries(), 0);
-        assert!(idx.query(
-            fixtures::A,
-            fixtures::G,
-            LabelSet::full(3)
-        ));
+        assert!(idx.query(fixtures::A, fixtures::G, LabelSet::full(3)));
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod landmark;
 pub mod lcr;
 pub mod online;
 pub mod p2h;
+pub mod pipeline;
 pub mod rlc;
 pub mod rpq_index;
 pub mod spls;
@@ -34,8 +35,7 @@ pub mod witness;
 pub mod zou;
 
 pub use constraint::{parse, Ast, ConstraintKind, Nfa};
-pub use lcr::{
-    ConstraintClass, LabeledIndexMeta, LcrFramework, LcrIndex, RlcIndexApi,
-};
+pub use lcr::{ConstraintClass, LabeledIndexMeta, LcrFramework, LcrIndex, RlcIndexApi};
+pub use pipeline::LcrSpec;
 pub use spls::SplsSet;
 pub use witness::Witness;

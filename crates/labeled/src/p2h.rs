@@ -10,8 +10,7 @@
 //! higher-priority hops, so the index contains no redundancy.
 
 use crate::lcr::{
-    Completeness, ConstraintClass, Dynamism, InputClass, LabeledIndexMeta, LcrFramework,
-    LcrIndex,
+    Completeness, ConstraintClass, Dynamism, InputClass, LabeledIndexMeta, LcrFramework, LcrIndex,
 };
 use reach_graph::{LabelSet, LabeledGraph, VertexId};
 use std::cmp::Reverse;
@@ -22,11 +21,7 @@ pub(crate) type LabelEntry = (u32, LabelSet);
 
 /// Tests whether `lout_s` and `lin_t` share a hop whose combined label
 /// sets fit inside `allowed`. Both lists are sorted by rank.
-pub(crate) fn entries_join(
-    lout_s: &[LabelEntry],
-    lin_t: &[LabelEntry],
-    allowed: LabelSet,
-) -> bool {
+pub(crate) fn entries_join(lout_s: &[LabelEntry], lin_t: &[LabelEntry], allowed: LabelSet) -> bool {
     let (mut i, mut j) = (0, 0);
     while i < lout_s.len() && j < lin_t.len() {
         let (ri, _) = lout_s[i];
@@ -116,7 +111,11 @@ impl P2hPlus {
         for (r, &v) in order.iter().enumerate() {
             rank_of[v.index()] = r as u32;
         }
-        let mut idx = P2hPlus { rank_of, lin: vec![Vec::new(); n], lout: vec![Vec::new(); n] };
+        let mut idx = P2hPlus {
+            rank_of,
+            lin: vec![Vec::new(); n],
+            lout: vec![Vec::new(); n],
+        };
         for (r, &w) in order.iter().enumerate() {
             idx.labeled_bfs(g, w, r as u32, true);
             idx.labeled_bfs(g, w, r as u32, false);
@@ -166,7 +165,11 @@ impl P2hPlus {
         if covered {
             return false;
         }
-        let table = if forward { &mut self.lin } else { &mut self.lout };
+        let table = if forward {
+            &mut self.lin
+        } else {
+            &mut self.lout
+        };
         entry_insert(&mut table[x.index()], r, ls)
     }
 
@@ -208,8 +211,7 @@ impl LcrIndex for P2hPlus {
     }
 
     fn size_entries(&self) -> usize {
-        self.lin.iter().map(Vec::len).sum::<usize>()
-            + self.lout.iter().map(Vec::len).sum::<usize>()
+        self.lin.iter().map(Vec::len).sum::<usize>() + self.lout.iter().map(Vec::len).sum::<usize>()
     }
 }
 
@@ -321,7 +323,10 @@ mod tests {
         let lout = vec![(1u32, LabelSet(0b01)), (3, LabelSet(0b10))];
         let lin = vec![(2u32, LabelSet(0b01)), (3, LabelSet(0b01))];
         assert!(entries_join(&lout, &lin, LabelSet(0b11)));
-        assert!(!entries_join(&lout, &lin, LabelSet(0b01)), "rank 3 needs both bits");
+        assert!(
+            !entries_join(&lout, &lin, LabelSet(0b01)),
+            "rank 3 needs both bits"
+        );
         assert!(!entries_join(&lout, &[], LabelSet(0b11)));
     }
 }

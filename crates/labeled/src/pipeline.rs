@@ -1,0 +1,120 @@
+//! The labeled (LCR) side of the unified builder registry.
+//!
+//! Instantiates `reach-core`'s [`BuilderSpec`] with labeled-graph
+//! input and Table-2 metadata, so the bench harness and CLI dispatch
+//! plain and path-constrained techniques through one registry shape.
+
+use crate::chen::ChenIndex;
+use crate::dlcr::Dlcr;
+use crate::gtc::GtcIndex;
+use crate::jin::JinIndex;
+use crate::landmark::LandmarkIndex;
+use crate::lcr::{LabeledIndexMeta, LcrIndex};
+use crate::p2h::P2hPlus;
+use crate::zou::ZouIndex;
+use reach_core::pipeline::{defaults, BuildOpts, BuilderSpec};
+use reach_graph::{fixtures, LabeledGraph};
+use std::sync::Arc;
+
+/// The LCR instantiation of the registry entry type.
+pub type LcrSpec = BuilderSpec<Arc<LabeledGraph>, dyn LcrIndex, LabeledIndexMeta>;
+
+fn fig() -> Arc<LabeledGraph> {
+    Arc::new(fixtures::figure1b())
+}
+
+/// Every alternation-based (LCR) technique, in Table-2 order.
+pub static LCR_REGISTRY: &[LcrSpec] = &[
+    BuilderSpec {
+        name: "Jin et al.",
+        meta: || JinIndex::build(&fig()).meta(),
+        feasible: |n, _| n <= 5_000,
+        build: |g, _| Box::new(JinIndex::build(g)),
+    },
+    BuilderSpec {
+        name: "Chen et al.",
+        meta: || ChenIndex::build(&fig()).meta(),
+        feasible: |_, _| true,
+        build: |g, _| Box::new(ChenIndex::build(g)),
+    },
+    BuilderSpec {
+        name: "Zou et al.",
+        meta: || ZouIndex::build(&fig()).meta(),
+        feasible: |n, _| n <= 2_000,
+        build: |g, _| Box::new(ZouIndex::build(g)),
+    },
+    BuilderSpec {
+        name: "Landmark index",
+        meta: || LandmarkIndex::build(fig(), defaults::LANDMARKS).meta(),
+        feasible: |_, _| true,
+        build: |g, o| Box::new(LandmarkIndex::build(Arc::clone(g), o.landmarks)),
+    },
+    BuilderSpec {
+        name: "P2H+",
+        meta: || P2hPlus::build(&fig()).meta(),
+        feasible: |_, _| true,
+        build: |g, _| Box::new(P2hPlus::build(g)),
+    },
+    BuilderSpec {
+        name: "DLCR",
+        meta: || Dlcr::build(&fig()).meta(),
+        feasible: |_, _| true,
+        build: |g, _| Box::new(Dlcr::build(g)),
+    },
+    BuilderSpec {
+        name: "GTC",
+        meta: || GtcIndex::build(&fig()).meta(),
+        feasible: |n, _| n <= 2_000,
+        build: |g, _| Box::new(GtcIndex::build(g)),
+    },
+];
+
+/// Looks up an LCR registry entry by name.
+pub fn lcr_spec(name: &str) -> Option<&'static LcrSpec> {
+    LCR_REGISTRY.iter().find(|s| s.name == name)
+}
+
+/// Every LCR technique name, in Table-2 (registry) order.
+pub fn lcr_names() -> Vec<&'static str> {
+    LCR_REGISTRY.iter().map(|s| s.name).collect()
+}
+
+/// Whether building the named LCR index is practical at size `n`.
+/// Unknown names are not feasible.
+pub fn lcr_feasible(name: &str, n: usize) -> bool {
+    lcr_spec(name).is_some_and(|s| (s.feasible)(n, 0))
+}
+
+/// Builds the named LCR index. Panics on an unknown name.
+pub fn build_lcr(name: &str, graph: &Arc<LabeledGraph>, opts: &BuildOpts) -> Box<dyn LcrIndex> {
+    let spec = lcr_spec(name).unwrap_or_else(|| panic!("unknown LCR index {name:?}"));
+    (spec.build)(graph, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique() {
+        let names = lcr_names();
+        for (i, a) in names.iter().enumerate() {
+            for b in &names[i + 1..] {
+                assert_ne!(a, b, "duplicate LCR registry entry");
+            }
+        }
+    }
+
+    #[test]
+    fn every_spec_meta_matches_built_index_name() {
+        for spec in LCR_REGISTRY {
+            assert_eq!((spec.meta)().name, spec.name);
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_infeasible() {
+        assert!(!lcr_feasible("no such index", 10));
+        assert!(lcr_spec("no such index").is_none());
+    }
+}

@@ -106,8 +106,28 @@ impl RlcIndex {
             for uid in 0..idx.units.len() {
                 let unit = idx.units[uid].clone();
                 for phase in 0..unit.len() {
-                    idx.hop_bfs(g, &rank_of, w, r as u32, uid as u16, &unit, phase as u8, true, &mut seen);
-                    idx.hop_bfs(g, &rank_of, w, r as u32, uid as u16, &unit, phase as u8, false, &mut seen);
+                    idx.hop_bfs(
+                        g,
+                        &rank_of,
+                        w,
+                        r as u32,
+                        uid as u16,
+                        &unit,
+                        phase as u8,
+                        true,
+                        &mut seen,
+                    );
+                    idx.hop_bfs(
+                        g,
+                        &rank_of,
+                        w,
+                        r as u32,
+                        uid as u16,
+                        &unit,
+                        phase as u8,
+                        false,
+                        &mut seen,
+                    );
                 }
             }
         }
@@ -150,7 +170,11 @@ impl RlcIndex {
             let (x, q) = queue[head];
             head += 1;
             if q == 0 {
-                let table = if forward { &mut self.lin } else { &mut self.lout };
+                let table = if forward {
+                    &mut self.lin
+                } else {
+                    &mut self.lout
+                };
                 table[x.index()].push((r, uid, p0));
             }
             // interior restriction: only lower-priority vertices are
@@ -244,8 +268,7 @@ impl RlcIndexApi for RlcIndex {
     }
 
     fn size_entries(&self) -> usize {
-        self.lin.iter().map(Vec::len).sum::<usize>()
-            + self.lout.iter().map(Vec::len).sum::<usize>()
+        self.lin.iter().map(Vec::len).sum::<usize>() + self.lout.iter().map(Vec::len).sum::<usize>()
     }
 }
 
@@ -320,14 +343,20 @@ mod tests {
         // 0 -> 1 needs a lone 'a': unit (a) matches, unit (a,b) cannot
         // end a full repeat at 1
         assert_eq!(idx.try_query(VertexId(0), VertexId(1), &[a]), Some(true));
-        assert_eq!(idx.try_query(VertexId(0), VertexId(1), &[a, b]), Some(false));
+        assert_eq!(
+            idx.try_query(VertexId(0), VertexId(1), &[a, b]),
+            Some(false)
+        );
     }
 
     #[test]
     fn units_longer_than_kmax_are_rejected() {
         let g = fixtures::figure1b();
         let idx = RlcIndex::build(&g, 2);
-        assert_eq!(idx.try_query(L, B, &[WORKS_FOR, FRIEND_OF, WORKS_FOR]), None);
+        assert_eq!(
+            idx.try_query(L, B, &[WORKS_FOR, FRIEND_OF, WORKS_FOR]),
+            None
+        );
     }
 
     #[test]

@@ -155,8 +155,11 @@ mod tests {
         let small = RpqIndex::build(&g, &parse("friendOf*", ALPHABET).unwrap());
         let large = RpqIndex::build(
             &g,
-            &parse("(friendOf · follows · worksFor)+ ∪ (follows · friendOf)*", ALPHABET)
-                .unwrap(),
+            &parse(
+                "(friendOf · follows · worksFor)+ ∪ (follows · friendOf)*",
+                ALPHABET,
+            )
+            .unwrap(),
         );
         assert!(large.num_states() > small.num_states());
         assert!(large.size_entries() >= small.size_entries());

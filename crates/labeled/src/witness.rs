@@ -40,7 +40,10 @@ impl Witness {
 /// unreachable from `s`; the empty witness for `s == t`).
 pub fn plain_witness(g: &LabeledGraph, s: VertexId, t: VertexId) -> Option<Witness> {
     if s == t {
-        return Some(Witness { vertices: vec![s], labels: vec![] });
+        return Some(Witness {
+            vertices: vec![s],
+            labels: vec![],
+        });
     }
     lcr_witness(g, s, t, LabelSet::full(g.num_labels()))
 }
@@ -54,7 +57,10 @@ pub fn lcr_witness(
     allowed: LabelSet,
 ) -> Option<Witness> {
     if s == t {
-        return Some(Witness { vertices: vec![s], labels: vec![] });
+        return Some(Witness {
+            vertices: vec![s],
+            labels: vec![],
+        });
     }
     let n = g.num_vertices();
     // predecessor[v] = (prev vertex, label) on the BFS tree
@@ -83,15 +89,13 @@ pub fn lcr_witness(
 
 /// Shortest witness for a concatenation (RLC) query: a path whose
 /// label sequence is one or more full repetitions of `unit`.
-pub fn rlc_witness(
-    g: &LabeledGraph,
-    s: VertexId,
-    t: VertexId,
-    unit: &[Label],
-) -> Option<Witness> {
+pub fn rlc_witness(g: &LabeledGraph, s: VertexId, t: VertexId, unit: &[Label]) -> Option<Witness> {
     assert!(!unit.is_empty());
     if s == t {
-        return Some(Witness { vertices: vec![s], labels: vec![] });
+        return Some(Witness {
+            vertices: vec![s],
+            labels: vec![],
+        });
     }
     let k = unit.len();
     let n = g.num_vertices();
@@ -126,7 +130,10 @@ pub fn rpq_witness(g: &LabeledGraph, s: VertexId, t: VertexId, nfa: &Nfa) -> Opt
     let mut start = vec![nfa.start()];
     nfa.epsilon_closure(&mut start);
     if s == t && start.iter().any(|&q| nfa.is_accept(q)) {
-        return Some(Witness { vertices: vec![s], labels: vec![] });
+        return Some(Witness {
+            vertices: vec![s],
+            labels: vec![],
+        });
     }
     let n = g.num_vertices();
     let mut pred: Vec<Option<(VertexId, u32, Label)>> = vec![None; n * ns];
@@ -215,7 +222,10 @@ fn unwind_nfa(
         cur = prev;
         state = prev_state;
     }
-    debug_assert!(cur == s && start_states.contains(&state), "chain roots at the source");
+    debug_assert!(
+        cur == s && start_states.contains(&state),
+        "chain roots at the source"
+    );
     vertices.reverse();
     labels.reverse();
     Witness { vertices, labels }
@@ -259,7 +269,10 @@ mod tests {
     fn lcr_witness_respects_the_constraint() {
         let g = fixtures::figure1b();
         let allowed = LabelSet::from_labels([FRIEND_OF, FOLLOWS]);
-        assert!(lcr_witness(&g, A, G, allowed).is_none(), "the paper's false query");
+        assert!(
+            lcr_witness(&g, A, G, allowed).is_none(),
+            "the paper's false query"
+        );
         let w = lcr_witness(&g, A, H, allowed).expect("A→D→H avoids worksFor");
         verify_witness(&g, A, H, &w);
         assert!(w.label_set().is_subset_of(allowed));

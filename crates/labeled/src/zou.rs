@@ -25,8 +25,7 @@
 //!    SPLS tables joining intra- and inter-component segments.
 
 use crate::lcr::{
-    Completeness, ConstraintClass, Dynamism, InputClass, LabeledIndexMeta, LcrFramework,
-    LcrIndex,
+    Completeness, ConstraintClass, Dynamism, InputClass, LabeledIndexMeta, LcrFramework, LcrIndex,
 };
 use crate::spls::SplsSet;
 use reach_graph::{Label, LabelSet, LabeledGraph, VertexId};
@@ -137,8 +136,8 @@ impl ZouIndex {
                         if rows[v.index()][q.index()].is_empty() {
                             continue;
                         }
-                        let prefix = rows[v.index()][q.index()]
-                            .cross_product(&SplsSet::singleton(unit));
+                        let prefix =
+                            rows[v.index()][q.index()].cross_product(&SplsSet::singleton(unit));
                         for x in 0..n {
                             if rows[w.index()][x].is_empty() {
                                 continue;
@@ -150,7 +149,11 @@ impl ZouIndex {
                 }
             }
         }
-        ZouIndex { rows, edges: g.edges().collect(), num_labels: g.num_labels() }
+        ZouIndex {
+            rows,
+            edges: g.edges().collect(),
+            num_labels: g.num_labels(),
+        }
     }
 
     /// The SPLS antichain recorded for the pair `(s, t)`.
@@ -340,8 +343,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(203);
         let g = random_labeled_digraph(15, 25, 3, LabelDistribution::Uniform, &mut rng);
         let mut idx = ZouIndex::build(&g);
-        let mut edges: Vec<(u32, u8, u32)> =
-            g.edges().map(|(u, l, v)| (u.0, l.0, v.0)).collect();
+        let mut edges: Vec<(u32, u8, u32)> = g.edges().map(|(u, l, v)| (u.0, l.0, v.0)).collect();
         for _ in 0..10 {
             let u = rng.random_range(0..15u32);
             let mut v = rng.random_range(0..14u32);
@@ -363,8 +365,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(204);
         let g = random_labeled_digraph(12, 35, 3, LabelDistribution::Uniform, &mut rng);
         let mut idx = ZouIndex::build(&g);
-        let mut edges: Vec<(u32, u8, u32)> =
-            g.edges().map(|(u, l, v)| (u.0, l.0, v.0)).collect();
+        let mut edges: Vec<(u32, u8, u32)> = g.edges().map(|(u, l, v)| (u.0, l.0, v.0)).collect();
         for _ in 0..8 {
             if edges.is_empty() {
                 break;

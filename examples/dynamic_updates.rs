@@ -84,8 +84,7 @@ fn main() {
     // ---- DAGGER on a DAG-maintaining stream -------------------------
     let base = reachability::graph::generators::random_dag(n, 500, &mut rng);
     let mut dagger = DynamicGrail::build(&base, 2, 11);
-    let mut dag_edges: Vec<(u32, u32)> =
-        base.graph().edges().map(|(a, b)| (a.0, b.0)).collect();
+    let mut dag_edges: Vec<(u32, u32)> = base.graph().edges().map(|(a, b)| (a.0, b.0)).collect();
     let t = Instant::now();
     let mut dagger_audits = 0;
     for step in 0..500 {
@@ -120,8 +119,7 @@ fn main() {
     // ---- DLCR on a labeled stream ------------------------------------
     let lg = random_labeled_digraph(80, 200, 3, LabelDistribution::Uniform, &mut rng);
     let mut dlcr = Dlcr::build(&lg);
-    let mut ledges: Vec<(u32, u8, u32)> =
-        lg.edges().map(|(u, l, v)| (u.0, l.0, v.0)).collect();
+    let mut ledges: Vec<(u32, u8, u32)> = lg.edges().map(|(u, l, v)| (u.0, l.0, v.0)).collect();
     let t = Instant::now();
     let mut dlcr_audits = 0;
     for _ in 0..300 {

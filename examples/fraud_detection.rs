@@ -48,7 +48,11 @@ fn main() {
         if b >= a {
             b += 1;
         }
-        let l = if rng.random_bool(0.5) { DEPOSIT } else { WITHDRAW };
+        let l = if rng.random_bool(0.5) {
+            DEPOSIT
+        } else {
+            WITHDRAW
+        };
         builder.add_edge(VertexId(a), l, VertexId(b));
     }
 
@@ -123,7 +127,11 @@ fn main() {
     // cross-check a sample against the online evaluators, including
     // the general automaton route for the same constraint
     let nfa = Nfa::compile(
-        &parse("(deposit · withdraw)*", &["deposit", "withdraw", "transfer"]).unwrap(),
+        &parse(
+            "(deposit · withdraw)*",
+            &["deposit", "withdraw", "transfer"],
+        )
+        .unwrap(),
     );
     let mut checked = 0;
     for s in network.vertices().step_by(17) {

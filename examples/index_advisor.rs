@@ -13,7 +13,7 @@
 //! makes the whole taxonomy mechanically comparable.
 
 use reach_bench::queries::query_mix;
-use reach_bench::registry::{build_plain, plain_feasible, PLAIN_NAMES};
+use reach_bench::registry::{build_plain, plain_feasible, plain_names};
 use reach_bench::report::{fmt_bytes, fmt_duration, timed, Table};
 use reach_bench::workloads::Shape;
 use reachability::prelude::*;
@@ -71,7 +71,7 @@ fn main() {
     let mut candidates: Vec<Candidate> = Vec::new();
     let mut rejected: Vec<(String, &'static str)> = Vec::new();
 
-    for name in PLAIN_NAMES {
+    for name in plain_names() {
         if name.starts_with("online") || !plain_feasible(name, n, graph.num_edges()) {
             continue;
         }
@@ -85,9 +85,7 @@ fn main() {
             rejected.push((name.to_string(), "exceeds the memory ceiling"));
             continue;
         }
-        let (hits, total) = timed(|| {
-            mix.pairs.iter().filter(|&&(s, t)| idx.query(s, t)).count()
-        });
+        let (hits, total) = timed(|| mix.pairs.iter().filter(|&&(s, t)| idx.query(s, t)).count());
         assert_eq!(hits, mix.positives);
         candidates.push(Candidate {
             name,

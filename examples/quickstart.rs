@@ -53,7 +53,10 @@ fn main() {
 
     // ---- the edge-labeled graph of Figure 1(b) ----------------------
     let lg = fixtures::figure1b();
-    println!("\nFigure 1(b): {} labeled edges over {{friendOf, follows, worksFor}}", lg.num_edges());
+    println!(
+        "\nFigure 1(b): {} labeled edges over {{friendOf, follows, worksFor}}",
+        lg.num_edges()
+    );
 
     let p2h = reachability::labeled::p2h::P2hPlus::build(&lg);
 

@@ -26,7 +26,6 @@ use std::time::Instant;
 const FRIEND_OF: Label = Label(0);
 const FOLLOWS: Label = Label(1);
 
-
 fn main() {
     let mut rng = SmallRng::seed_from_u64(2023);
     let n = 3_000;
@@ -49,7 +48,11 @@ fn main() {
 
     let t = Instant::now();
     let p2h = P2hPlus::build(&network);
-    println!("P2H+ built in {:?} ({} label entries)", t.elapsed(), p2h.size_entries());
+    println!(
+        "P2H+ built in {:?} ({} label entries)",
+        t.elapsed(),
+        p2h.size_entries()
+    );
 
     let t = Instant::now();
     let landmark = LandmarkIndex::build(network.clone(), 16);
@@ -77,7 +80,10 @@ fn main() {
         let via_landmark = landmark.query(a, b, social_only);
         let oracle = lcr_bfs(&network, a, b, social_only);
         assert_eq!(via_p2h, oracle, "P2H+ disagrees with BFS at {a}->{b}");
-        assert_eq!(via_landmark, oracle, "landmark disagrees with BFS at {a}->{b}");
+        assert_eq!(
+            via_landmark, oracle,
+            "landmark disagrees with BFS at {a}->{b}"
+        );
         agree += 1;
         if oracle {
             social_pairs += 1;
@@ -99,14 +105,22 @@ fn main() {
         rows.iter().filter(|s| s.satisfies(allowed)).count() - 1 // minus the hub itself
     };
     println!("\nQ2 influence of the most-connected member (vertex {hub}):");
-    println!("   friendOf only          : {:>5} members", reach(friends_only));
-    println!("   friendOf ∪ follows     : {:>5} members", reach(social_only));
-    println!("   any relationship       : {:>5} members", reach(LabelSet::full(3)));
+    println!(
+        "   friendOf only          : {:>5} members",
+        reach(friends_only)
+    );
+    println!(
+        "   friendOf ∪ follows     : {:>5} members",
+        reach(social_only)
+    );
+    println!(
+        "   any relationship       : {:>5} members",
+        reach(LabelSet::full(3))
+    );
 
     // Q3: parse a constraint the way a query engine would receive it
     let alphabet = ["friendOf", "follows", "worksFor"];
-    let ast =
-        reachability::labeled::parse("(friendOf ∪ worksFor)*", &alphabet).unwrap();
+    let ast = reachability::labeled::parse("(friendOf ∪ worksFor)*", &alphabet).unwrap();
     let ConstraintKind::Alternation(no_follows) = ast.classify() else {
         unreachable!()
     };

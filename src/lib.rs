@@ -42,27 +42,27 @@
 //! assert!(!p2h.query(fixtures::A, fixtures::G, constraint));
 //! ```
 
-/// The graph substrate (re-export of `reach-graph`).
-pub use reach_graph as graph;
 /// Plain reachability indexes (re-export of `reach-core`).
 pub use reach_core as plain;
+/// The graph substrate (re-export of `reach-graph`).
+pub use reach_graph as graph;
 /// Path-constrained reachability indexes (re-export of `reach-labeled`).
 pub use reach_labeled as labeled;
 
 /// The types most programs need, in one import.
 pub mod prelude {
     pub use reach_core::index::{
-        Certainty, Completeness, Dynamism, FilterGuarantees, Framework, IndexMeta,
-        InputClass, ReachFilter, ReachIndex,
+        Certainty, Completeness, Dynamism, FilterGuarantees, Framework, IndexMeta, InputClass,
+        ReachFilter, ReachIndex,
     };
     pub use reach_core::{Condensed, GuidedSearch, TransitiveClosure};
     pub use reach_graph::fixtures;
     pub use reach_graph::{
-        Condensation, Dag, DiGraph, DiGraphBuilder, GraphError, Label, LabelSet,
-        LabeledGraph, LabeledGraphBuilder, VertexId,
+        Condensation, Dag, DiGraph, DiGraphBuilder, GraphError, Label, LabelSet, LabeledGraph,
+        LabeledGraphBuilder, VertexId,
     };
     pub use reach_labeled::{
-        ConstraintClass, ConstraintKind, LabeledIndexMeta, LcrFramework, LcrIndex,
-        RlcIndexApi, SplsSet,
+        ConstraintClass, ConstraintKind, LabeledIndexMeta, LcrFramework, LcrIndex, RlcIndexApi,
+        SplsSet,
     };
 }

@@ -1,15 +1,21 @@
-//! Property-based tests for the dynamic indexes (the "Dynamic"
-//! columns of Tables 1 and 2): arbitrary edit scripts must leave every
-//! dynamic index equivalent to a fresh rebuild, and the constraint
-//! parser must be total (never panic) on arbitrary input.
+//! Randomized tests for the dynamic indexes (the "Dynamic" columns of
+//! Tables 1 and 2): arbitrary edit scripts must leave every dynamic
+//! index equivalent to a fresh rebuild, and the constraint parser must
+//! be total (never panic) on arbitrary input.
+//!
+//! Each test draws its cases from a seeded `SmallRng`, so failures are
+//! reproducible from the printed case seed.
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use reachability::graph::traverse::{bfs_reaches, VisitMap};
 use reachability::labeled::dlcr::Dlcr;
 use reachability::labeled::online::lcr_bfs;
 use reachability::plain::dagger::DynamicGrail;
 use reachability::plain::dbl::Dbl;
 use reachability::prelude::*;
+
+const CASES: u64 = 48;
 
 /// An edit: insert (op = 0) or delete (op = 1) the edge derived from
 /// `(x, y)` on an `n`-vertex graph.
@@ -35,25 +41,22 @@ fn apply_plain(edits: &[Edit], n: u32, edges: &mut Vec<(u32, u32)>) -> Vec<(u8, 
     resolved
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn dbl_inserts_match_rebuild(
-        base in proptest::collection::vec((0u32..15, 0u32..15), 0..30),
-        inserts in proptest::collection::vec((0u32..15, 0u32..15), 1..15),
-    ) {
+#[test]
+fn dbl_inserts_match_rebuild() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xDB1_0000 + case);
         let n = 15u32;
-        let mut edges: Vec<(u32, u32)> = base
-            .into_iter()
+        let mut edges: Vec<(u32, u32)> = (0..rng.random_range(0usize..30))
+            .map(|_| (rng.random_range(0..15u32), rng.random_range(0..15u32)))
             .filter(|&(u, v)| u != v)
             .collect();
         edges.sort_unstable();
         edges.dedup();
         let g = DiGraph::from_edges(n as usize, &edges);
         let mut dbl = Dbl::build(&g);
-        for (u, v) in inserts {
-            let mut v = v % n;
+        for _ in 0..rng.random_range(1usize..15) {
+            let u = rng.random_range(0..15u32);
+            let mut v = rng.random_range(0..15u32) % n;
             if v == u {
                 v = (v + 1) % n;
             }
@@ -66,32 +69,38 @@ proptest! {
         let mut vm = VisitMap::new(n as usize);
         for s in now.vertices() {
             for t in now.vertices() {
-                prop_assert_eq!(
+                assert_eq!(
                     dbl.query(s, t),
                     bfs_reaches(&now, s, t, &mut vm),
-                    "at {}->{}", s, t
+                    "case {case}: at {s}->{t}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn dagger_survives_arbitrary_edit_scripts(
-        m in 0usize..40,
-        edits in proptest::collection::vec((0u8..2, 0u32..12, 0u32..12), 1..20),
-        seed in 0u64..100,
-    ) {
+#[test]
+fn dagger_survives_arbitrary_edit_scripts() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xDA6_0000 + case);
+        let m = rng.random_range(0usize..40);
+        let edits: Vec<Edit> = (0..rng.random_range(1usize..20))
+            .map(|_| {
+                (
+                    rng.random_range(0u8..2),
+                    rng.random_range(0u32..12),
+                    rng.random_range(0u32..12),
+                )
+            })
+            .collect();
+        let seed = rng.random_range(0u64..100);
         // base DAG: forward edges derived from the seed
         let n = 12u32;
-        let mut rng = {
-            use rand::SeedableRng;
-            rand::rngs::SmallRng::seed_from_u64(seed)
-        };
-        use rand::Rng;
+        let mut gen = SmallRng::seed_from_u64(seed);
         let mut edges: Vec<(u32, u32)> = (0..m)
             .map(|_| {
-                let u = rng.random_range(0..n - 1);
-                let v = rng.random_range(u + 1..n);
+                let u = gen.random_range(0..n - 1);
+                let v = gen.random_range(u + 1..n);
                 (u, v)
             })
             .collect();
@@ -112,27 +121,40 @@ proptest! {
         let mut vm = VisitMap::new(n as usize);
         for s in now.vertices() {
             for t in now.vertices() {
-                prop_assert_eq!(dagger.query(s, t), bfs_reaches(&now, s, t, &mut vm));
+                assert_eq!(
+                    dagger.query(s, t),
+                    bfs_reaches(&now, s, t, &mut vm),
+                    "case {case}: at {s}->{t}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn dlcr_edit_scripts_match_rebuild(
-        base in proptest::collection::vec((0u32..10, 0u8..2, 0u32..10), 0..20),
-        edits in proptest::collection::vec((0u8..2, 0u32..10, 0u8..2, 0u32..10), 1..10),
-    ) {
+#[test]
+fn dlcr_edit_scripts_match_rebuild() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xD1C2_0000 + case);
         let n = 10u32;
-        let mut edges: Vec<(u32, u8, u32)> = base
-            .into_iter()
+        let mut edges: Vec<(u32, u8, u32)> = (0..rng.random_range(0usize..20))
+            .map(|_| {
+                (
+                    rng.random_range(0..10u32),
+                    rng.random_range(0..2u8),
+                    rng.random_range(0..10u32),
+                )
+            })
             .filter(|&(u, _, v)| u != v)
             .collect();
         edges.sort_unstable();
         edges.dedup();
         let g = LabeledGraph::from_edges(n as usize, 2, &edges);
         let mut dlcr = Dlcr::build(&g);
-        for (op, u, l, v) in edits {
-            let mut v = v % n;
+        for _ in 0..rng.random_range(1usize..10) {
+            let op = rng.random_range(0u8..2);
+            let u = rng.random_range(0..10u32);
+            let l = rng.random_range(0..2u8);
+            let mut v = rng.random_range(0..10u32) % n;
             if v == u {
                 v = (v + 1) % n;
             }
@@ -151,41 +173,76 @@ proptest! {
             for t in now.vertices() {
                 for mask in 0..4u64 {
                     let allowed = LabelSet(mask);
-                    prop_assert_eq!(
+                    assert_eq!(
                         dlcr.query(s, t, allowed),
                         lcr_bfs(&now, s, t, allowed),
-                        "at {}->{} under {:?}", s, t, allowed
+                        "case {case}: at {s}->{t} under {allowed:?}"
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn constraint_parser_is_total(input in "\\PC{0,40}") {
-        // never panics; either parses or reports a positioned error
+#[test]
+fn constraint_parser_is_total() {
+    // printable-ish alphabet plus the grammar's own tokens: the parser
+    // must never panic, only parse or report a positioned error
+    let pool: Vec<char> = ('!'..='~')
+        .chain(['∪', '∘', '*', '(', ')', ' ', 'a', 'b', 'c', '⋅', 'λ', '∅'])
+        .collect();
+    for case in 0..256u64 {
+        let mut rng = SmallRng::seed_from_u64(0x9A25_0000 + case);
+        let len = rng.random_range(0usize..=40);
+        let input: String = (0..len)
+            .map(|_| pool[rng.random_range(0..pool.len())])
+            .collect();
         let _ = reachability::labeled::parse(&input, &["a", "b", "c"]);
     }
+}
 
-    #[test]
-    fn parser_roundtrips_valid_alternations(labels in proptest::collection::vec(0u8..3, 1..4)) {
-        let names = ["a", "b", "c"];
+#[test]
+fn parser_roundtrips_valid_alternations() {
+    let names = ["a", "b", "c"];
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x9A40_0000 + case);
+        let labels: Vec<u8> = (0..rng.random_range(1usize..4))
+            .map(|_| rng.random_range(0u8..3))
+            .collect();
         let expr = format!(
             "({})*",
-            labels.iter().map(|&l| names[l as usize]).collect::<Vec<_>>().join(" ∪ ")
+            labels
+                .iter()
+                .map(|&l| names[l as usize])
+                .collect::<Vec<_>>()
+                .join(" ∪ ")
         );
         let ast = reachability::labeled::parse(&expr, &names).unwrap();
         let expect = LabelSet::from_labels(labels.iter().map(|&l| Label(l)));
-        prop_assert_eq!(ast.classify(), ConstraintKind::Alternation(expect));
+        assert_eq!(
+            ast.classify(),
+            ConstraintKind::Alternation(expect),
+            "case {case}: {expr}"
+        );
     }
+}
 
-    #[test]
-    fn io_roundtrip_is_identity(
-        edges in proptest::collection::vec((0u32..20, 0u8..4, 0u32..20), 0..50)
-    ) {
+#[test]
+fn io_roundtrip_is_identity() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x10F0_0000 + case);
+        let edges: Vec<(u32, u8, u32)> = (0..rng.random_range(0usize..50))
+            .map(|_| {
+                (
+                    rng.random_range(0..20u32),
+                    rng.random_range(0..4u8),
+                    rng.random_range(0..20u32),
+                )
+            })
+            .collect();
         let g = LabeledGraph::from_edges(20, 4, &edges);
         let text = reachability::graph::io::write_labeled(&g);
         let back = reachability::graph::io::read_labeled(&text).unwrap();
-        prop_assert_eq!(g, back);
+        assert_eq!(g, back, "case {case}");
     }
 }

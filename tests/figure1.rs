@@ -2,7 +2,7 @@
 //! verified against every implemented index (the claim-by-claim list
 //! is DESIGN.md §4, rows "Figure 1(a)" and "Figure 1(b)").
 
-use reach_bench::registry::{build_lcr, build_plain, LCR_NAMES, PLAIN_NAMES};
+use reach_bench::registry::{build_lcr, build_plain, lcr_names, plain_names};
 use reachability::graph::fixtures::{
     self, A, B, C, D, FOLLOWS, FRIEND_OF, G, H, K, L, M, WORKS_FOR,
 };
@@ -17,7 +17,7 @@ fn qr_a_g_is_true_for_every_plain_index() {
     // §2.1: "Qr(A,G) = true because of an s-t path (A, D, H, G)"
     let g = Arc::new(fixtures::figure1a());
     assert!(g.has_edge(A, D) && g.has_edge(D, H) && g.has_edge(H, G));
-    for name in PLAIN_NAMES {
+    for name in plain_names() {
         let idx = build_plain(name, &g);
         assert!(idx.query(A, G), "{name}: Qr(A,G) must be true");
     }
@@ -30,7 +30,7 @@ fn alternation_example_is_false_for_every_lcr_index() {
     let g = Arc::new(fixtures::figure1b());
     let constraint = LabelSet::from_labels([FRIEND_OF, FOLLOWS]);
     assert!(!lcr_bfs(&g, A, G, constraint));
-    for name in LCR_NAMES {
+    for name in lcr_names() {
         let idx = build_lcr(name, &g);
         assert!(!idx.query(A, G, constraint), "{name}");
         assert!(idx.query(A, G, LabelSet::full(3)), "{name}: unconstrained");
@@ -43,9 +43,7 @@ fn spls_l_to_m_example() {
     // p1's label set is the SPLS.
     let g = fixtures::figure1b();
     // both witness paths exist
-    let has = |u: VertexId, l: Label, v: VertexId| {
-        g.out_edges(u).any(|(w, el)| w == v && el == l)
-    };
+    let has = |u: VertexId, l: Label, v: VertexId| g.out_edges(u).any(|(w, el)| w == v && el == l);
     assert!(has(L, WORKS_FOR, C) && has(C, WORKS_FOR, M));
     assert!(has(L, FOLLOWS, K) && has(K, WORKS_FOR, M));
     let rows = single_source_gtc(&g, L);
@@ -99,7 +97,7 @@ fn mr_example_and_rlc_query() {
 fn figure1_reachability_matrix_is_consistent_across_all_indexes() {
     let g = Arc::new(fixtures::figure1a());
     let tc = TransitiveClosure::build(&g);
-    for name in PLAIN_NAMES {
+    for name in plain_names() {
         let idx = build_plain(name, &g);
         for s in g.vertices() {
             for t in g.vertices() {
@@ -112,7 +110,7 @@ fn figure1_reachability_matrix_is_consistent_across_all_indexes() {
 #[test]
 fn figure1_lcr_matrix_is_consistent_across_all_indexes() {
     let g = Arc::new(fixtures::figure1b());
-    for name in LCR_NAMES {
+    for name in lcr_names() {
         let idx = build_lcr(name, &g);
         for s in g.vertices() {
             for t in g.vertices() {

@@ -9,7 +9,6 @@ use reachability::plain::engine::GuidedSearch;
 use reachability::plain::grail::GrailFilter;
 use reachability::plain::{bfl, ferrari, grail};
 use reachability::prelude::*;
-use std::sync::Arc;
 
 fn oblivious_meta() -> IndexMeta {
     IndexMeta {
@@ -30,7 +29,10 @@ impl ReachFilter for Oblivious {
         Certainty::Unknown
     }
     fn guarantees(&self) -> FilterGuarantees {
-        FilterGuarantees { definite_positive: false, definite_negative: false }
+        FilterGuarantees {
+            definite_positive: false,
+            definite_negative: false,
+        }
     }
     fn size_bytes(&self) -> usize {
         0
@@ -44,7 +46,7 @@ impl ReachFilter for Oblivious {
 fn real_filters_expand_fewer_vertices_than_dfs() {
     let graph = Shape::Sparse.generate(2_000, 55);
     let dag = Dag::new(graph).unwrap();
-    let shared = Arc::new(dag.graph().clone());
+    let shared = dag.shared_graph();
     let mix = query_mix(&shared, 400, 0.5, 3);
 
     let baseline = GuidedSearch::new(shared.clone(), Oblivious, oblivious_meta());

@@ -5,7 +5,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use reach_bench::registry::{build_lcr, lcr_feasible, LCR_NAMES};
+use reach_bench::registry::{build_lcr, lcr_feasible, lcr_names};
 use reach_bench::workloads::Shape;
 use reachability::labeled::online::{lcr_bfs, rlc_bfs, rpq_bfs};
 use reachability::labeled::rlc::RlcIndex;
@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 fn check_lcr_shape(shape: Shape, n: usize, k: usize, seed: u64) {
     let g = Arc::new(shape.generate_labeled(n, k, seed));
-    for name in LCR_NAMES {
+    for name in lcr_names() {
         if !lcr_feasible(name, n) {
             continue;
         }
@@ -64,8 +64,7 @@ fn rlc_index_agrees_with_product_bfs() {
         let idx = RlcIndex::build(&g, 2);
         for _ in 0..120 {
             let len = 1 + rng.random_range(0..2usize);
-            let unit: Vec<Label> =
-                (0..len).map(|_| Label(rng.random_range(0..3u8))).collect();
+            let unit: Vec<Label> = (0..len).map(|_| Label(rng.random_range(0..3u8))).collect();
             for s in g.vertices() {
                 for t in g.vertices() {
                     assert_eq!(
@@ -133,7 +132,7 @@ fn lcr_indexes_handle_degenerate_graphs() {
         vec![(0, 0, 1), (0, 1, 1), (1, 2, 0)],
     ] {
         let g = Arc::new(LabeledGraph::from_edges(3, 3, &edges));
-        for name in LCR_NAMES {
+        for name in lcr_names() {
             let idx = build_lcr(name, &g);
             for s in g.vertices() {
                 for t in g.vertices() {

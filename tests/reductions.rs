@@ -3,7 +3,7 @@
 //! techniques: any index built on a reduced graph answers exactly the
 //! queries of the original.
 
-use reach_bench::registry::{build_plain, plain_feasible, PLAIN_NAMES};
+use reach_bench::registry::{build_plain, plain_feasible, plain_names};
 use reach_bench::workloads::Shape;
 use reachability::graph::reduction::{equivalence_reduction, transitive_reduction};
 use reachability::prelude::*;
@@ -14,9 +14,12 @@ fn transitive_reduction_composes_with_every_index() {
     let g = Shape::Dense.generate(60, 31);
     let dag = Dag::new(g.clone()).unwrap();
     let reduced = Arc::new(transitive_reduction(&dag));
-    assert!(reduced.num_edges() < g.num_edges(), "dense DAGs have shortcuts");
+    assert!(
+        reduced.num_edges() < g.num_edges(),
+        "dense DAGs have shortcuts"
+    );
     let tc = TransitiveClosure::build(&g);
-    for name in PLAIN_NAMES {
+    for name in plain_names() {
         if !plain_feasible(name, 60, g.num_edges()) {
             continue;
         }

@@ -23,13 +23,41 @@ fn expected_rows() -> Vec<(
     use InputClass::General;
     use LcrFramework::*;
     vec![
-        ("Jin et al.", TreeCover, Alternation, Complete, General, Static),
-        ("Chen et al.", TreeCover, Alternation, Complete, General, Static),
-        ("Zou et al.", Gtc, Alternation, Complete, General, InsertDelete),
+        (
+            "Jin et al.",
+            TreeCover,
+            Alternation,
+            Complete,
+            General,
+            Static,
+        ),
+        (
+            "Chen et al.",
+            TreeCover,
+            Alternation,
+            Complete,
+            General,
+            Static,
+        ),
+        (
+            "Zou et al.",
+            Gtc,
+            Alternation,
+            Complete,
+            General,
+            InsertDelete,
+        ),
         ("Landmark index", Gtc, Alternation, Partial, General, Static),
         ("P2H+", TwoHop, Alternation, Complete, General, Static),
         ("DLCR", TwoHop, Alternation, Complete, General, InsertDelete),
-        ("RLC index", TwoHop, Concatenation, Complete, General, Static),
+        (
+            "RLC index",
+            TwoHop,
+            Concatenation,
+            Complete,
+            General,
+            Static,
+        ),
     ]
 }
 
