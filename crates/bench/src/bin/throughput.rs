@@ -1,0 +1,229 @@
+//! Batch-query throughput benchmark: sweeps thread counts × indexes
+//! through [`reach_core::QueryEngine`] and reports how much the
+//! concurrent batch path gains over the classic one-query-at-a-time
+//! loop the survey's experiments measure.
+//!
+//! The workload has *source locality* (several targets per source, the
+//! shape of real query logs): that is what the batch overrides exploit
+//! — multi-source bit-parallel BFS packs 64 distinct sources into one
+//! traversal for the online baselines, and guided search answers a
+//! whole source group with one pruned DFS.
+//!
+//! ```text
+//! cargo run --release -p reach-bench --bin throughput -- \
+//!     [--smoke] [--n N] [--queries Q] [--index NAME ...] [--out FILE]
+//! ```
+//!
+//! Emits a JSON report (default `BENCH_throughput.json`) with, per
+//! index, the per-pair baseline rate and the batch rate at every thread
+//! count, plus a `verdicts_identical` flag asserting byte-identical
+//! answers across all configurations.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use reach_bench::registry::{build_plain_with_report, plain_names, BuildOpts};
+use reach_bench::report::{fmt_duration, timed, Table};
+use reach_bench::workloads::Shape;
+use reach_core::QueryEngine;
+use reach_graph::{PreparedGraph, VertexId};
+use std::sync::Arc;
+
+const SEED: u64 = 0x7157;
+const TARGETS_PER_SOURCE: usize = 8;
+
+struct Config {
+    n: usize,
+    queries: usize,
+    indexes: Vec<String>,
+    thread_counts: Vec<usize>,
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args(args: &[String]) -> Config {
+    let mut cfg = Config {
+        n: 100_000,
+        queries: 4096,
+        indexes: Vec::new(),
+        thread_counts: vec![1, 2, 4, 8],
+        out: "BENCH_throughput.json".to_string(),
+        smoke: false,
+    };
+    let mut explicit_n = false;
+    let mut explicit_q = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => cfg.smoke = true,
+            "--n" => {
+                i += 1;
+                cfg.n = args[i].parse().expect("--n takes a number");
+                explicit_n = true;
+            }
+            "--queries" => {
+                i += 1;
+                cfg.queries = args[i].parse().expect("--queries takes a number");
+                explicit_q = true;
+            }
+            "--index" => {
+                i += 1;
+                cfg.indexes.push(args[i].clone());
+            }
+            "--out" => {
+                i += 1;
+                cfg.out = args[i].clone();
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+    if cfg.smoke {
+        if !explicit_n {
+            cfg.n = 2_000;
+        }
+        if !explicit_q {
+            cfg.queries = 512;
+        }
+        cfg.thread_counts = vec![1, 2];
+    }
+    if cfg.indexes.is_empty() {
+        cfg.indexes = ["online-BFS", "online-BiBFS", "GRAIL", "BFL"]
+            .map(String::from)
+            .to_vec();
+    }
+    let known = plain_names();
+    for name in &cfg.indexes {
+        assert!(
+            known.contains(&name.as_str()),
+            "unknown plain index {name:?}"
+        );
+    }
+    cfg
+}
+
+/// A query log with source locality: `queries / TARGETS_PER_SOURCE`
+/// distinct sources, each asked about `TARGETS_PER_SOURCE` targets,
+/// interleaved the way a request stream would be.
+fn locality_workload(n: usize, queries: usize, seed: u64) -> Vec<(VertexId, VertexId)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let num_sources = (queries / TARGETS_PER_SOURCE).max(1);
+    let mut pairs: Vec<(VertexId, VertexId)> = Vec::with_capacity(queries);
+    for _ in 0..num_sources {
+        let s = VertexId(rng.random_range(0..n as u32));
+        for _ in 0..TARGETS_PER_SOURCE {
+            pairs.push((s, VertexId(rng.random_range(0..n as u32))));
+        }
+        if pairs.len() >= queries {
+            break;
+        }
+    }
+    pairs.truncate(queries);
+    // interleave: Fisher–Yates so batches must re-discover the grouping
+    for i in (1..pairs.len()).rev() {
+        pairs.swap(i, rng.random_range(0..=i));
+    }
+    pairs
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.2}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = parse_args(&args);
+
+    let graph = Arc::new(Shape::Sparse.generate(cfg.n, SEED));
+    let pairs = locality_workload(graph.num_vertices(), cfg.queries, SEED ^ 0xBA7C4);
+    println!(
+        "throughput workload: sparse-dag n={} m={} | {} queries, ~{} targets/source, threads {:?}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        pairs.len(),
+        TARGETS_PER_SOURCE,
+        cfg.thread_counts,
+    );
+
+    let prepared = PreparedGraph::new_shared(Arc::clone(&graph));
+    let opts = BuildOpts::default();
+    let mut table = Table::new(["index", "build", "per-pair qps", "batch config", "speedup"]);
+    let mut index_reports: Vec<String> = Vec::new();
+
+    for name in &cfg.indexes {
+        let (idx, build) = build_plain_with_report(name, &prepared, &opts);
+
+        // baseline: the classic sequential one-query-at-a-time loop
+        let (reference, base_time) =
+            timed(|| -> Vec<bool> { pairs.iter().map(|&(s, t)| idx.query(s, t)).collect() });
+        let positives = reference.iter().filter(|&&b| b).count();
+        let base_qps = pairs.len() as f64 / base_time.as_secs_f64().max(f64::MIN_POSITIVE);
+        table.row([
+            name.clone(),
+            fmt_duration(build.total),
+            format!("{base_qps:.0}"),
+            "per-pair baseline".to_string(),
+            "1.00x".to_string(),
+        ]);
+
+        let mut verdicts_identical = true;
+        let mut batch_rows: Vec<String> = Vec::new();
+        for &threads in &cfg.thread_counts {
+            let engine = QueryEngine::new(threads);
+            let (answers, batch_time) = timed(|| engine.run(idx.as_ref(), &pairs));
+            if answers != reference {
+                verdicts_identical = false;
+            }
+            let qps = pairs.len() as f64 / batch_time.as_secs_f64().max(f64::MIN_POSITIVE);
+            let speedup = qps / base_qps;
+            table.row([
+                String::new(),
+                String::new(),
+                String::new(),
+                format!("batch, {threads} thread(s)"),
+                format!("{speedup:.2}x ({qps:.0} qps)"),
+            ]);
+            batch_rows.push(format!(
+                "{{\"threads\": {threads}, \"ms\": {}, \"qps\": {}, \"speedup_vs_baseline\": {}}}",
+                json_f64(batch_time.as_secs_f64() * 1e3),
+                json_f64(qps),
+                json_f64(speedup)
+            ));
+        }
+        assert!(
+            verdicts_identical,
+            "{name}: batch verdicts diverged from the per-pair loop"
+        );
+        index_reports.push(format!(
+            "    {{\n      \"name\": \"{name}\",\n      \"build_ms\": {},\n      \
+             \"positives\": {positives},\n      \"baseline_per_pair_qps\": {},\n      \
+             \"verdicts_identical\": {verdicts_identical},\n      \"batch\": [\n        {}\n      ]\n    }}",
+            json_f64(build.total.as_secs_f64() * 1e3),
+            json_f64(base_qps),
+            batch_rows.join(",\n        ")
+        ));
+    }
+
+    println!("\n{}", table.render());
+
+    let json = format!(
+        "{{\n  \"workload\": {{\n    \"shape\": \"sparse-dag\",\n    \"n\": {},\n    \"m\": {},\n    \
+         \"seed\": {SEED},\n    \"queries\": {},\n    \"targets_per_source\": {TARGETS_PER_SOURCE}\n  }},\n  \
+         \"thread_counts\": [{}],\n  \"smoke\": {},\n  \"indexes\": [\n{}\n  ]\n}}\n",
+        graph.num_vertices(),
+        graph.num_edges(),
+        pairs.len(),
+        cfg.thread_counts
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+        cfg.smoke,
+        index_reports.join(",\n")
+    );
+    std::fs::write(&cfg.out, &json).expect("write report");
+    println!("wrote {}", cfg.out);
+}

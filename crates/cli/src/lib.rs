@@ -157,6 +157,7 @@ fn cmd_help(out: &mut dyn Write) -> Result<(), CliError> {
          \x20 stats <graph>                                          structural summary\n\
          \x20 indexes                                                list techniques (Table 1 & 2)\n\
          \x20 query <graph> --index NAME <s> <t> [<s> <t> ...]       plain reachability\n\
+         \x20 query <graph> --index NAME --batch FILE [--threads N]  batch evaluation\n\
          \x20 lcr <graph> --index NAME --constraint EXPR <s> <t>     path-constrained reachability\n\
          \x20 witness <graph> [--constraint EXPR] <s> <t>            show an explaining path\n\
          \x20 bench <graph> [--index NAME ...] [--queries N] [--positive P]\n\
@@ -312,6 +313,8 @@ struct Flags {
     alphabet: Vec<String>,
     queries: usize,
     positive: f64,
+    batch: Option<String>,
+    threads: usize,
     rest: Vec<String>,
 }
 
@@ -322,6 +325,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         alphabet: Vec::new(),
         queries: 1000,
         positive: 0.5,
+        batch: None,
+        threads: 1,
         rest: Vec::new(),
     };
     let mut i = 0;
@@ -366,6 +371,24 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                     "positive share",
                 )?;
             }
+            "--batch" => {
+                i += 1;
+                f.batch = Some(
+                    args.get(i)
+                        .ok_or_else(|| err("--batch needs a file"))?
+                        .clone(),
+                );
+            }
+            "--threads" => {
+                i += 1;
+                f.threads = parse_num(
+                    args.get(i).ok_or_else(|| err("--threads needs a value"))?,
+                    "thread count",
+                )?;
+                if f.threads == 0 {
+                    return Err(err("thread count must be at least 1"));
+                }
+            }
             other => f.rest.push(other.to_string()),
         }
         i += 1;
@@ -390,6 +413,23 @@ fn parse_pairs(tokens: &[String], n: usize) -> Result<Vec<(VertexId, VertexId)>,
         .collect()
 }
 
+/// Reads a batch file of `<s> <t>` lines (blank lines and `#` comments
+/// skipped) into query pairs.
+fn read_batch_file(path: &str, n: usize) -> Result<Vec<(VertexId, VertexId)>, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let tokens: Vec<String> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .flat_map(|l| l.split_whitespace().map(str::to_string))
+        .collect();
+    if tokens.is_empty() {
+        return Err(err(format!("{path}: no query pairs")));
+    }
+    parse_pairs(&tokens, n)
+}
+
 fn cmd_query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let flags = parse_flags(args)?;
     let (path, pairs_tokens) = flags
@@ -406,13 +446,38 @@ fn cmd_query(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "unknown plain index {name:?} (see `reach indexes`)"
         )));
     }
-    let pairs = parse_pairs(pairs_tokens, g.num_vertices())?;
+    let pairs = match &flags.batch {
+        Some(file) => {
+            if !pairs_tokens.is_empty() {
+                return Err(err("--batch replaces inline <s> <t> pairs"));
+            }
+            read_batch_file(file, g.num_vertices())?
+        }
+        None => parse_pairs(pairs_tokens, g.num_vertices())?,
+    };
     let prepared = PreparedGraph::new_shared(g);
     let (idx, report) = build_plain_with_report(name, &prepared, &BuildOpts::default());
     writeln!(out, "built {}", fmt_build_report(&report))?;
-    for (s, t) in pairs {
-        let (answer, t_q) = timed(|| idx.query(s, t));
-        writeln!(out, "Qr({s}, {t}) = {answer}   [{}]", fmt_duration(t_q))?;
+    if flags.batch.is_some() {
+        let engine = reach_core::QueryEngine::new(flags.threads);
+        let (answers, elapsed) = timed(|| engine.run(idx.as_ref(), &pairs));
+        for (&(s, t), answer) in pairs.iter().zip(&answers) {
+            writeln!(out, "Qr({s}, {t}) = {answer}")?;
+        }
+        let qps = pairs.len() as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+        writeln!(
+            out,
+            "batch: {} queries on {} thread(s) in {} ({:.0} queries/s)",
+            pairs.len(),
+            engine.threads(),
+            fmt_duration(elapsed),
+            qps
+        )?;
+    } else {
+        for (s, t) in pairs {
+            let (answer, t_q) = timed(|| idx.query(s, t));
+            writeln!(out, "Qr({s}, {t}) = {answer}   [{}]", fmt_duration(t_q))?;
+        }
     }
     Ok(())
 }
@@ -739,6 +804,69 @@ mod tests {
         let plain = tmp("g8.el");
         run_to_string(&["gen", "sparse-dag", "20", "--out", &plain]).unwrap();
         assert!(run_to_string(&["witness", &plain, "0", "1"]).is_err());
+    }
+
+    #[test]
+    fn query_batch_file_reports_throughput() {
+        let path = tmp("g9.el");
+        run_to_string(&["gen", "sparse-dag", "120", "--seed", "6", "--out", &path]).unwrap();
+        let batch = tmp("batch9.txt");
+        std::fs::write(&batch, "# comment\n0 119\n5 5\n\n10 3\n").unwrap();
+        let s = run_to_string(&[
+            "query",
+            &path,
+            "--index",
+            "online-BFS",
+            "--batch",
+            &batch,
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        assert!(s.contains("Qr(5, 5) = true"), "{s}");
+        assert!(s.contains("batch: 3 queries on 4 thread(s)"), "{s}");
+        // same answers as per-pair queries, regardless of thread count
+        let single =
+            run_to_string(&["query", &path, "--index", "online-BFS", "--batch", &batch]).unwrap();
+        let verdicts = |text: &str| -> Vec<String> {
+            text.lines()
+                .filter(|l| l.starts_with("Qr("))
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(verdicts(&s), verdicts(&single));
+    }
+
+    #[test]
+    fn query_batch_errors_are_user_facing() {
+        let path = tmp("g10.el");
+        run_to_string(&["gen", "sparse-dag", "30", "--out", &path]).unwrap();
+        let batch = tmp("batch10.txt");
+        std::fs::write(&batch, "0 29\n").unwrap();
+        // --batch plus inline pairs is ambiguous
+        assert!(
+            run_to_string(&["query", &path, "--index", "BFL", "--batch", &batch, "0", "1"])
+                .is_err()
+        );
+        // missing batch file
+        assert!(
+            run_to_string(&["query", &path, "--index", "BFL", "--batch", "/nonexistent"]).is_err()
+        );
+        // zero threads rejected
+        assert!(run_to_string(&[
+            "query",
+            &path,
+            "--index",
+            "BFL",
+            "--batch",
+            &batch,
+            "--threads",
+            "0"
+        ])
+        .is_err());
+        // out-of-range vertex in the batch file
+        std::fs::write(&batch, "0 999\n").unwrap();
+        assert!(run_to_string(&["query", &path, "--index", "BFL", "--batch", &batch]).is_err());
     }
 
     #[test]

@@ -18,8 +18,7 @@ use crate::index::{
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use reach_graph::traverse::{Side, VisitMap};
-use reach_graph::{Dag, DiGraphBuilder, VertexId};
-use std::cell::RefCell;
+use reach_graph::{Dag, DiGraphBuilder, ScratchPool, VertexId};
 
 /// The dynamic GRAIL index.
 pub struct DynamicGrail {
@@ -30,7 +29,7 @@ pub struct DynamicGrail {
     labelings: Vec<Vec<(u32, u32)>>,
     k: usize,
     seed: u64,
-    scratch: RefCell<Scratch>,
+    scratch: ScratchPool<Scratch>,
 }
 
 struct Scratch {
@@ -41,7 +40,6 @@ struct Scratch {
 impl DynamicGrail {
     /// Builds the index from a DAG snapshot with `k` labelings.
     pub fn build(dag: &Dag, k: usize, seed: u64) -> Self {
-        let n = dag.num_vertices();
         let mut rng = SmallRng::seed_from_u64(seed);
         let filter = GrailFilter::build(dag, k, &mut rng);
         DynamicGrail {
@@ -56,10 +54,7 @@ impl DynamicGrail {
             labelings: filter.into_labelings(),
             k,
             seed,
-            scratch: RefCell::new(Scratch {
-                visit: VisitMap::new(n),
-                stack: Vec::new(),
-            }),
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -160,7 +155,10 @@ impl ReachIndex for DynamicGrail {
         if self.certain(s, t) == Certainty::Unreachable {
             return false;
         }
-        let scratch = &mut *self.scratch.borrow_mut();
+        let scratch = &mut *self.scratch.checkout(|| Scratch {
+            visit: VisitMap::new(self.out_adj.len()),
+            stack: Vec::new(),
+        });
         scratch.visit.reset();
         scratch.stack.clear();
         scratch.stack.push(s);

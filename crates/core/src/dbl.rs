@@ -16,8 +16,8 @@
 //! index's own (mutable) adjacency.
 
 use crate::index::{Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex};
-use reach_graph::{DiGraph, VertexId};
-use std::cell::RefCell;
+use reach_graph::traverse::{Side, VisitMap};
+use reach_graph::{DiGraph, ScratchPool, VertexId};
 
 /// The DBL index. Owns a mutable copy of the graph so that
 /// [`insert_edge`](Self::insert_edge) is self-contained.
@@ -30,8 +30,12 @@ pub struct Dbl {
     dl_out: Vec<u64>,
     bl_in: Vec<u32>,
     bl_out: Vec<u32>,
-    scratch: RefCell<Vec<VertexId>>,
-    visited: RefCell<Vec<bool>>,
+    scratch: ScratchPool<Scratch>,
+}
+
+struct Scratch {
+    stack: Vec<VertexId>,
+    visit: VisitMap,
 }
 
 fn splitmix(mut x: u64) -> u64 {
@@ -62,8 +66,7 @@ impl Dbl {
             dl_out: vec![0; n],
             bl_in: (0..n).map(|i| 1u32 << (splitmix(i as u64) % 32)).collect(),
             bl_out: (0..n).map(|i| 1u32 << (splitmix(i as u64) % 32)).collect(),
-            scratch: RefCell::new(Vec::new()),
-            visited: RefCell::new(vec![false; n]),
+            scratch: ScratchPool::new(),
         };
         // landmark reach sets by BFS
         for (i, &lm) in landmarks.iter().enumerate() {
@@ -279,25 +282,26 @@ impl ReachIndex for Dbl {
             Some(answer) => answer,
             None => {
                 // pruned DFS over the stored adjacency
-                let stack = &mut *self.scratch.borrow_mut();
-                let visited = &mut *self.visited.borrow_mut();
-                stack.clear();
-                visited.iter_mut().for_each(|b| *b = false);
-                stack.push(s);
-                visited[s.index()] = true;
-                while let Some(x) = stack.pop() {
+                let scratch = &mut *self.scratch.checkout(|| Scratch {
+                    stack: Vec::new(),
+                    visit: VisitMap::new(self.out_adj.len()),
+                });
+                scratch.stack.clear();
+                scratch.visit.reset();
+                scratch.stack.push(s);
+                scratch.visit.mark(s, Side::Forward);
+                while let Some(x) = scratch.stack.pop() {
                     for &y in &self.out_adj[x.index()] {
                         if y == t {
                             return true;
                         }
-                        if visited[y.index()] {
+                        if !scratch.visit.mark(y, Side::Forward) {
                             continue;
                         }
-                        visited[y.index()] = true;
                         match self.lookup(y, t) {
                             Some(true) => return true,
                             Some(false) => {}
-                            None => stack.push(y),
+                            None => scratch.stack.push(y),
                         }
                     }
                 }

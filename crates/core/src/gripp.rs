@@ -14,8 +14,7 @@
 use crate::index::{Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex};
 use crate::interval::SpanningForest;
 use reach_graph::traverse::{Side, VisitMap};
-use reach_graph::{DiGraph, VertexId};
-use std::cell::RefCell;
+use reach_graph::{DiGraph, ScratchPool, VertexId};
 
 /// The GRIPP index (simplified: the order-instance table is realized
 /// as the spanning forest's interval labels plus the non-tree edge
@@ -25,7 +24,7 @@ pub struct Gripp {
     /// Non-tree edges sorted by the tail's post-order number, so the
     /// hops available inside a subtree form a contiguous range.
     hops: Vec<(u32, VertexId)>,
-    scratch: RefCell<Scratch>,
+    scratch: ScratchPool<Scratch>,
 }
 
 struct Scratch {
@@ -46,10 +45,7 @@ impl Gripp {
         Gripp {
             forest,
             hops,
-            scratch: RefCell::new(Scratch {
-                visit: VisitMap::new(g.num_vertices()),
-                stack: Vec::new(),
-            }),
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -74,7 +70,10 @@ impl ReachIndex for Gripp {
         if self.forest.contains(s, t) {
             return true;
         }
-        let scratch = &mut *self.scratch.borrow_mut();
+        let scratch = &mut *self.scratch.checkout(|| Scratch {
+            visit: VisitMap::new(self.forest.num_vertices()),
+            stack: Vec::new(),
+        });
         scratch.visit.reset();
         scratch.stack.clear();
         scratch.stack.push(s);

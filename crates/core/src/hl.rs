@@ -11,8 +11,7 @@
 
 use crate::index::{Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex};
 use reach_graph::traverse::{Side, VisitMap};
-use reach_graph::{Dag, DiGraph, VertexId};
-use std::cell::RefCell;
+use reach_graph::{Dag, DiGraph, ScratchPool, VertexId};
 use std::sync::Arc;
 
 /// The hierarchical-labeling oracle.
@@ -26,7 +25,7 @@ pub struct Hl {
     fwd: Vec<u64>,
     /// `bwd[i]`: bitset of vertices reaching landmark i
     bwd: Vec<u64>,
-    scratch: RefCell<Scratch>,
+    scratch: ScratchPool<Scratch>,
 }
 
 struct Scratch {
@@ -56,11 +55,17 @@ impl Hl {
         }
         let mut fwd = vec![0u64; k * words];
         let mut bwd = vec![0u64; k * words];
+        // one visit map + closure buffer reused across every landmark,
+        // instead of a fresh `vec![false; n]` per traversal
+        let mut visit = VisitMap::new(n);
+        let mut closure = Vec::new();
         for (i, &lm) in landmarks.iter().enumerate() {
-            for v in reach_graph::traverse::forward_closure(&graph, lm) {
+            reach_graph::traverse::forward_closure_with(&graph, lm, &mut visit, &mut closure);
+            for &v in &closure {
                 fwd[i * words + v.index() / 64] |= 1 << (v.index() % 64);
             }
-            for v in reach_graph::traverse::backward_closure(&graph, lm) {
+            reach_graph::traverse::backward_closure_with(&graph, lm, &mut visit, &mut closure);
+            for &v in &closure {
                 bwd[i * words + v.index() / 64] |= 1 << (v.index() % 64);
             }
         }
@@ -71,10 +76,7 @@ impl Hl {
             words,
             fwd,
             bwd,
-            scratch: RefCell::new(Scratch {
-                visit: VisitMap::new(n),
-                stack: Vec::new(),
-            }),
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -99,10 +101,7 @@ impl Hl {
             words,
             fwd,
             bwd,
-            scratch: RefCell::new(Scratch {
-                visit: VisitMap::new(n),
-                stack: Vec::new(),
-            }),
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -134,7 +133,10 @@ impl ReachIndex for Hl {
             // so the lookup above was already conclusive
             return false;
         }
-        let scratch = &mut *self.scratch.borrow_mut();
+        let scratch = &mut *self.scratch.checkout(|| Scratch {
+            visit: VisitMap::new(self.graph.num_vertices()),
+            stack: Vec::new(),
+        });
         scratch.visit.reset();
         scratch.stack.clear();
         scratch.stack.push(s);

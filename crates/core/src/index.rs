@@ -76,9 +76,26 @@ pub struct IndexMeta {
 /// [`crate::engine::GuidedSearch`], so every implementation is an
 /// exact oracle. The partial/complete distinction is visible through
 /// [`IndexMeta::completeness`] and through the [`ReachFilter`] trait.
-pub trait ReachIndex {
+///
+/// Every index is `Send + Sync` (enforced here as supertraits): one
+/// `Arc<dyn ReachIndex>` serves any number of request threads, which
+/// is what the [`crate::query_engine::QueryEngine`] executor relies
+/// on. Per-query scratch therefore lives in a lock-free
+/// [`reach_graph::ScratchPool`], never a `RefCell`.
+pub trait ReachIndex: Send + Sync {
     /// Whether `t` is reachable from `s` (every vertex reaches itself).
     fn query(&self, s: VertexId, t: VertexId) -> bool;
+
+    /// Answers a batch of pairs, in order.
+    ///
+    /// The default is the per-pair loop; traversal-backed indexes
+    /// override it with batch-aware evaluation (multi-source
+    /// bit-parallel BFS for the online baselines, same-source grouping
+    /// for guided search). Overrides must return exactly what the
+    /// per-pair loop would.
+    fn query_batch(&self, pairs: &[(VertexId, VertexId)]) -> Vec<bool> {
+        pairs.iter().map(|&(s, t)| self.query(s, t)).collect()
+    }
 
     /// This technique's Table-1 classification.
     fn meta(&self) -> IndexMeta;
@@ -125,7 +142,11 @@ pub struct FilterGuarantees {
 /// [`ReachIndex`] by running a DFS that (a) terminates immediately on a
 /// `Reachable` verdict and (b) skips subtrees with an `Unreachable`
 /// verdict — exactly the guided traversal the survey describes.
-pub trait ReachFilter {
+///
+/// `Send + Sync` for the same reason as [`ReachIndex`]: lookups are
+/// reads over frozen label tables, and the lifted oracle must be
+/// shareable across query threads.
+pub trait ReachFilter: Send + Sync {
     /// One index lookup for the pair `(s, t)`.
     fn certain(&self, s: VertexId, t: VertexId) -> Certainty;
 

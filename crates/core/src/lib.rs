@@ -41,6 +41,7 @@ pub mod parallel;
 pub mod pipeline;
 pub mod pll;
 pub mod preach;
+pub mod query_engine;
 pub mod sspi;
 pub mod tc;
 pub mod tol;
@@ -53,4 +54,5 @@ pub use index::{
     ReachFilter, ReachIndex,
 };
 pub use pipeline::{BuildOpts, BuildReport, BuilderSpec, PlainSpec};
+pub use query_engine::QueryEngine;
 pub use tc::TransitiveClosure;

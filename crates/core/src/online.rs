@@ -7,8 +7,7 @@
 
 use crate::index::{Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex};
 use reach_graph::traverse::{self, VisitMap};
-use reach_graph::{DiGraph, VertexId};
-use std::cell::RefCell;
+use reach_graph::{DiGraph, ScratchPool, VertexId};
 use std::sync::Arc;
 
 /// Which traversal strategy an [`OnlineSearch`] runs.
@@ -27,17 +26,16 @@ pub enum Strategy {
 pub struct OnlineSearch {
     graph: Arc<DiGraph>,
     strategy: Strategy,
-    visit: RefCell<VisitMap>,
+    visit: ScratchPool<VisitMap>,
 }
 
 impl OnlineSearch {
     /// Wraps `graph` with the chosen traversal strategy.
     pub fn new(graph: Arc<DiGraph>, strategy: Strategy) -> Self {
-        let n = graph.num_vertices();
         OnlineSearch {
             graph,
             strategy,
-            visit: RefCell::new(VisitMap::new(n)),
+            visit: ScratchPool::new(),
         }
     }
 
@@ -49,12 +47,22 @@ impl OnlineSearch {
 
 impl ReachIndex for OnlineSearch {
     fn query(&self, s: VertexId, t: VertexId) -> bool {
-        let visit = &mut *self.visit.borrow_mut();
+        let visit = &mut *self
+            .visit
+            .checkout(|| VisitMap::new(self.graph.num_vertices()));
         match self.strategy {
             Strategy::Bfs => traverse::bfs_reaches(&self.graph, s, t, visit),
             Strategy::Dfs => traverse::dfs_reaches(&self.graph, s, t, visit),
             Strategy::BiBfs => traverse::bibfs_reaches(&self.graph, s, t, visit),
         }
+    }
+
+    /// Batch evaluation via multi-source bit-parallel BFS: distinct
+    /// sources are packed 64 per machine word and one traversal serves
+    /// them all. The strategy only affects per-pair evaluation order,
+    /// never the verdicts, so all three share the kernel.
+    fn query_batch(&self, pairs: &[(VertexId, VertexId)]) -> Vec<bool> {
+        traverse::batch_reaches(&self.graph, pairs)
     }
 
     fn meta(&self) -> IndexMeta {

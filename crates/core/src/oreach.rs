@@ -48,11 +48,15 @@ impl OReachFilter {
 
         let mut from_supp = vec![0u32; n];
         let mut to_supp = vec![0u32; n];
+        let mut visit = reach_graph::traverse::VisitMap::new(n);
+        let mut closure = Vec::new();
         for (i, &sp) in supports.iter().enumerate() {
-            for v in reach_graph::traverse::forward_closure(g, sp) {
+            reach_graph::traverse::forward_closure_with(g, sp, &mut visit, &mut closure);
+            for &v in &closure {
                 from_supp[v.index()] |= 1 << i;
             }
-            for v in reach_graph::traverse::backward_closure(g, sp) {
+            reach_graph::traverse::backward_closure_with(g, sp, &mut visit, &mut closure);
+            for &v in &closure {
                 to_supp[v.index()] |= 1 << i;
             }
         }

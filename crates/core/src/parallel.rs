@@ -24,7 +24,10 @@ use rand::SeedableRng;
 use reach_graph::{Dag, DiGraph, VertexId};
 
 /// Splits `0..total` into at most `threads` contiguous chunks.
-fn chunks(total: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+///
+/// Shared by the parallel builders here and by
+/// [`crate::query_engine::QueryEngine`]'s batch sharding.
+pub fn chunks(total: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
     let threads = threads.clamp(1, total.max(1));
     let per = total.div_ceil(threads);
     (0..total)
@@ -95,12 +98,27 @@ pub fn build_hl_parallel(dag: &Dag, k: usize, threads: usize) -> Hl {
             let graph = &graph;
             let landmarks = &landmarks;
             pending.push(scope.spawn(move || {
+                // per-worker scratch reused across this chunk's landmarks
+                let mut visit = reach_graph::traverse::VisitMap::new(graph.num_vertices());
+                let mut closure = Vec::new();
                 for ((i, frow), brow) in chunk_ids.clone().zip(frows).zip(brows) {
                     let lm = landmarks[i];
-                    for v in reach_graph::traverse::forward_closure(graph, lm) {
+                    reach_graph::traverse::forward_closure_with(
+                        graph,
+                        lm,
+                        &mut visit,
+                        &mut closure,
+                    );
+                    for &v in &closure {
                         frow[v.index() / 64] |= 1 << (v.index() % 64);
                     }
-                    for v in reach_graph::traverse::backward_closure(graph, lm) {
+                    reach_graph::traverse::backward_closure_with(
+                        graph,
+                        lm,
+                        &mut visit,
+                        &mut closure,
+                    );
+                    for &v in &closure {
                         brow[v.index() / 64] |= 1 << (v.index() % 64);
                     }
                 }

@@ -493,4 +493,68 @@ mod tests {
         assert!(!plain_feasible("no such index", 10, 10));
         assert!(plain_spec("no such index").is_none());
     }
+
+    #[test]
+    fn index_trait_objects_are_send_sync() {
+        // compile-time: the supertraits make every implementor — hence
+        // every registry entry's Box<dyn ReachIndex> — shareable
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        assert_send_sync::<dyn ReachIndex>();
+        assert_send_sync::<Box<dyn ReachIndex>>();
+        assert_send_sync::<dyn crate::index::ReachFilter>();
+    }
+
+    #[test]
+    fn every_registry_index_is_shareable_across_threads() {
+        // runtime: one instance of each technique answers queries from
+        // multiple threads concurrently, with verdicts matching the
+        // single-threaded per-pair loop
+        let g = DiGraph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (1, 6),
+                (6, 7),
+            ],
+        );
+        let prepared = PreparedGraph::new(g);
+        let opts = BuildOpts::default();
+        let pairs: Vec<(reach_graph::VertexId, reach_graph::VertexId)> = (0..8u32)
+            .flat_map(|s| {
+                (0..8u32).map(move |t| (reach_graph::VertexId(s), reach_graph::VertexId(t)))
+            })
+            .collect();
+        for spec in PLAIN_REGISTRY {
+            assert!(
+                (spec.feasible)(prepared.num_vertices(), prepared.num_edges()),
+                "{} should be feasible on a tiny graph",
+                spec.name
+            );
+            let idx = (spec.build)(&prepared, &opts);
+            let expected: Vec<bool> = pairs.iter().map(|&(s, t)| idx.query(s, t)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let idx = &idx;
+                    let pairs = &pairs;
+                    let expected = &expected;
+                    scope.spawn(move || {
+                        for round in 0..8 {
+                            let got = if round % 2 == 0 {
+                                pairs.iter().map(|&(s, t)| idx.query(s, t)).collect()
+                            } else {
+                                idx.query_batch(pairs)
+                            };
+                            assert_eq!(&got, expected, "{} diverged under sharing", spec.name);
+                        }
+                    });
+                }
+            });
+        }
+    }
 }

@@ -16,8 +16,7 @@ use crate::index::{
 use crate::interval::SpanningForest;
 use reach_graph::topo::topological_levels;
 use reach_graph::traverse::{Side, VisitMap};
-use reach_graph::{Dag, DiGraph, VertexId};
-use std::cell::RefCell;
+use reach_graph::{Dag, DiGraph, ScratchPool, VertexId};
 use std::sync::Arc;
 
 /// The PReaCH certificate set, usable stand-alone as a filter.
@@ -96,7 +95,7 @@ impl ReachFilter for PreachFilter {
 pub struct Preach {
     graph: Arc<DiGraph>,
     filter: PreachFilter,
-    scratch: RefCell<VisitMap>,
+    scratch: ScratchPool<VisitMap>,
 }
 
 impl Preach {
@@ -107,11 +106,10 @@ impl Preach {
 
     /// Builds PReaCH over an explicitly shared graph.
     pub fn build_shared(graph: Arc<DiGraph>, dag: &Dag) -> Self {
-        let n = graph.num_vertices();
         Preach {
             graph,
             filter: PreachFilter::build(dag),
-            scratch: RefCell::new(VisitMap::new(n)),
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -128,15 +126,18 @@ impl ReachIndex for Preach {
             Certainty::Unreachable => return false,
             Certainty::Unknown => {}
         }
-        let visit = &mut *self.scratch.borrow_mut();
+        let visit = &mut *self
+            .scratch
+            .checkout(|| VisitMap::new(self.graph.num_vertices()));
         visit.reset();
         visit.mark(s, Side::Forward);
         visit.mark(t, Side::Backward);
+        // double-buffered frontiers, as in `bibfs_reaches`
         let mut fwd = vec![s];
         let mut bwd = vec![t];
+        let mut next = Vec::new();
         while !fwd.is_empty() && !bwd.is_empty() {
             if fwd.len() <= bwd.len() {
-                let mut next = Vec::new();
                 for &u in &fwd {
                     for &v in self.graph.out_neighbors(u) {
                         if visit.is_marked(v, Side::Backward) {
@@ -152,9 +153,8 @@ impl ReachIndex for Preach {
                         }
                     }
                 }
-                fwd = next;
+                std::mem::swap(&mut fwd, &mut next);
             } else {
-                let mut next = Vec::new();
                 for &u in &bwd {
                     for &v in self.graph.in_neighbors(u) {
                         if visit.is_marked(v, Side::Forward) {
@@ -170,8 +170,9 @@ impl ReachIndex for Preach {
                         }
                     }
                 }
-                bwd = next;
+                std::mem::swap(&mut bwd, &mut next);
             }
+            next.clear();
         }
         false
     }

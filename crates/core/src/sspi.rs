@@ -12,8 +12,7 @@
 use crate::index::{Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex};
 use crate::interval::SpanningForest;
 use reach_graph::traverse::{Side, VisitMap};
-use reach_graph::{Dag, VertexId};
-use std::cell::RefCell;
+use reach_graph::{Dag, ScratchPool, VertexId};
 
 /// The Tree+SSPI index.
 pub struct TreeSspi {
@@ -22,7 +21,7 @@ pub struct TreeSspi {
     /// `u` of non-tree edges `(u, v)` entering it
     tails_by_head: Vec<Vec<VertexId>>,
     num_non_tree: usize,
-    scratch: RefCell<Scratch>,
+    scratch: ScratchPool<Scratch>,
 }
 
 struct Scratch {
@@ -46,11 +45,7 @@ impl TreeSspi {
             num_non_tree: forest.non_tree_edges().len(),
             forest,
             tails_by_head,
-            scratch: RefCell::new(Scratch {
-                frontier: VisitMap::new(n),
-                processed: VisitMap::new(n),
-                stack: Vec::new(),
-            }),
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -69,7 +64,12 @@ impl ReachIndex for TreeSspi {
         // through some non-tree edge (u, v) with v a tree ancestor of w
         // — so walk w's ancestor chain once (Forward marks), pushing
         // each ancestor's surrogate predecessors (Backward marks).
-        let scratch = &mut *self.scratch.borrow_mut();
+        let n = self.forest.num_vertices();
+        let scratch = &mut *self.scratch.checkout(|| Scratch {
+            frontier: VisitMap::new(n),
+            processed: VisitMap::new(n),
+            stack: Vec::new(),
+        });
         scratch.frontier.reset();
         scratch.processed.reset();
         scratch.stack.clear();

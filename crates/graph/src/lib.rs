@@ -34,6 +34,7 @@ pub mod labeled;
 pub mod prepare;
 pub mod reduction;
 pub mod scc;
+pub mod scratch;
 pub mod stats;
 pub mod topo;
 pub mod traverse;
@@ -45,5 +46,6 @@ pub use error::GraphError;
 pub use labeled::{Label, LabelSet, LabeledGraph, LabeledGraphBuilder};
 pub use prepare::PreparedGraph;
 pub use scc::SccDecomposition;
+pub use scratch::{ScratchGuard, ScratchPool};
 pub use traverse::VisitMap;
 pub use vertex::VertexId;

@@ -1,0 +1,182 @@
+//! A lock-free pool of per-query scratch buffers.
+//!
+//! Every traversal-backed index keeps reusable scratch (a [`VisitMap`],
+//! frontier stacks, …) so that `query(&self, ..)` allocates nothing.
+//! Storing that scratch in a `RefCell` made the indexes `!Sync`, which
+//! in turn made it impossible to serve one index from many request
+//! threads. [`ScratchPool`] replaces the `RefCell`: a fixed array of
+//! slots, each claimed with a single atomic compare-exchange, so any
+//! number of threads can check scratch out concurrently. When every
+//! slot is momentarily busy the checkout falls back to building a
+//! fresh buffer, trading one allocation for never blocking — the pool
+//! is lock-free in the strict sense that no thread can prevent another
+//! from making progress.
+//!
+//! [`VisitMap`]: crate::traverse::VisitMap
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Number of pooled slots. Checkouts beyond this many *concurrent*
+/// queries allocate fresh scratch; the pool re-fills as guards drop.
+const SLOTS: usize = 16;
+
+struct Slot<T> {
+    busy: AtomicBool,
+    item: UnsafeCell<Option<T>>,
+}
+
+// Safety: `item` is only accessed by the thread that won the `busy`
+// compare-exchange (acquire) and is released with a store (release),
+// so access to the interior is serialized per slot.
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+/// A fixed-capacity, lock-free pool of scratch buffers of type `T`.
+///
+/// `checkout` returns a guard that dereferences to `T` and returns the
+/// buffer to its slot on drop. Buffers created on overflow (all slots
+/// busy) are simply dropped.
+pub struct ScratchPool<T> {
+    slots: Box<[Slot<T>]>,
+}
+
+impl<T> ScratchPool<T> {
+    /// Creates an empty pool; buffers are built lazily by `checkout`.
+    pub fn new() -> Self {
+        ScratchPool {
+            slots: (0..SLOTS)
+                .map(|_| Slot {
+                    busy: AtomicBool::new(false),
+                    item: UnsafeCell::new(None),
+                })
+                .collect(),
+        }
+    }
+
+    /// Checks a buffer out of the pool, building one with `make` if
+    /// the claimed slot is empty (first use) or every slot is busy.
+    ///
+    /// The buffer is returned in whatever state the previous query
+    /// left it; callers reset it themselves (the same contract the
+    /// `RefCell` scratch had).
+    pub fn checkout(&self, make: impl FnOnce() -> T) -> ScratchGuard<'_, T> {
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot
+                .busy
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                // Safety: we hold the slot's busy flag.
+                let item = unsafe { (*slot.item.get()).take() };
+                return ScratchGuard {
+                    pool: Some((self, i)),
+                    item: Some(item.unwrap_or_else(make)),
+                };
+            }
+        }
+        ScratchGuard {
+            pool: None,
+            item: Some(make()),
+        }
+    }
+}
+
+impl<T> Default for ScratchPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A checked-out scratch buffer; returns to the pool on drop.
+pub struct ScratchGuard<'a, T> {
+    /// The owning pool and slot index, or `None` for overflow buffers.
+    pool: Option<(&'a ScratchPool<T>, usize)>,
+    item: Option<T>,
+}
+
+impl<T> Deref for ScratchGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.item.as_ref().expect("guard holds an item until drop")
+    }
+}
+
+impl<T> DerefMut for ScratchGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.item.as_mut().expect("guard holds an item until drop")
+    }
+}
+
+impl<T> Drop for ScratchGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((pool, i)) = self.pool {
+            let slot = &pool.slots[i];
+            // Safety: we still hold the slot's busy flag.
+            unsafe {
+                *slot.item.get() = self.item.take();
+            }
+            slot.busy.store(false, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn checkout_reuses_returned_buffers() {
+        static BUILDS: AtomicUsize = AtomicUsize::new(0);
+        let pool: ScratchPool<Vec<u8>> = ScratchPool::new();
+        for _ in 0..100 {
+            let mut g = pool.checkout(|| {
+                BUILDS.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            });
+            g.push(1);
+        }
+        assert_eq!(BUILDS.load(Ordering::Relaxed), 1, "one buffer, reused");
+        // state survives: the RefCell contract (callers reset)
+        let g = pool.checkout(Vec::new);
+        assert_eq!(g.len(), 100);
+    }
+
+    #[test]
+    fn concurrent_checkouts_get_distinct_buffers() {
+        let pool: ScratchPool<Vec<u8>> = ScratchPool::new();
+        let mut a = pool.checkout(Vec::new);
+        let mut b = pool.checkout(Vec::new);
+        a.push(1);
+        b.push(2);
+        assert_eq!(a[0], 1);
+        assert_eq!(b[0], 2);
+    }
+
+    #[test]
+    fn overflow_beyond_slots_still_works() {
+        let pool: ScratchPool<u32> = ScratchPool::new();
+        let guards: Vec<_> = (0..SLOTS + 4).map(|i| pool.checkout(|| i as u32)).collect();
+        for (i, g) in guards.iter().enumerate() {
+            assert_eq!(**g, i as u32);
+        }
+    }
+
+    #[test]
+    fn pool_is_shareable_across_threads() {
+        let pool: ScratchPool<Vec<u64>> = ScratchPool::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        let mut g = pool.checkout(Vec::new);
+                        g.clear();
+                        g.push(7);
+                        assert_eq!(g.len(), 1);
+                    }
+                });
+            }
+        });
+    }
+}

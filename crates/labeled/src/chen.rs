@@ -14,8 +14,7 @@
 use crate::lcr::{
     Completeness, ConstraintClass, Dynamism, InputClass, LabeledIndexMeta, LcrFramework, LcrIndex,
 };
-use reach_graph::{Label, LabelSet, LabeledGraph, VertexId};
-use std::cell::RefCell;
+use reach_graph::{Label, LabelSet, LabeledGraph, ScratchPool, VertexId};
 
 /// The Chen & Singh LCR index (one-level decomposition).
 pub struct ChenIndex {
@@ -26,7 +25,7 @@ pub struct ChenIndex {
     /// so the hops available inside a subtree form a contiguous range
     summary: Vec<(u32, VertexId, Label, VertexId)>,
     num_labels: usize,
-    scratch: RefCell<Scratch>,
+    scratch: ScratchPool<Scratch>,
 }
 
 struct Scratch {
@@ -101,10 +100,7 @@ impl ChenIndex {
             counts,
             summary,
             num_labels: k,
-            scratch: RefCell::new(Scratch {
-                seen: vec![false; n],
-                stack: Vec::new(),
-            }),
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -148,7 +144,10 @@ impl LcrIndex for ChenIndex {
         if s == t {
             return true;
         }
-        let scratch = &mut *self.scratch.borrow_mut();
+        let scratch = &mut *self.scratch.checkout(|| Scratch {
+            seen: vec![false; self.start.len()],
+            stack: Vec::new(),
+        });
         scratch.seen.iter_mut().for_each(|b| *b = false);
         scratch.stack.clear();
         scratch.stack.push(s);

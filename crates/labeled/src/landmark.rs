@@ -23,8 +23,7 @@ use crate::lcr::{
 };
 use crate::spls::SplsSet;
 use crate::zou::single_source_gtc;
-use reach_graph::{LabelSet, LabeledGraph, VertexId};
-use std::cell::RefCell;
+use reach_graph::{LabelSet, LabeledGraph, ScratchPool, VertexId};
 use std::sync::Arc;
 
 /// The landmark LCR index.
@@ -37,7 +36,7 @@ pub struct LandmarkIndex {
     /// per-vertex shortcuts: up to `budget` (landmark slot, SPLS) pairs
     /// for paths from the vertex *to* that landmark
     shortcuts: Vec<Vec<(u32, SplsSet)>>,
-    scratch: RefCell<Scratch>,
+    scratch: ScratchPool<Scratch>,
 }
 
 struct Scratch {
@@ -87,10 +86,7 @@ impl LandmarkIndex {
             slot_of,
             gtc,
             shortcuts,
-            scratch: RefCell::new(Scratch {
-                seen: vec![false; n],
-                queue: Vec::new(),
-            }),
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -125,7 +121,10 @@ impl LcrIndex for LandmarkIndex {
                 return true;
             }
         }
-        let scratch = &mut *self.scratch.borrow_mut();
+        let scratch = &mut *self.scratch.checkout(|| Scratch {
+            seen: vec![false; self.graph.num_vertices()],
+            queue: Vec::new(),
+        });
         scratch.seen.iter_mut().for_each(|b| *b = false);
         scratch.queue.clear();
         scratch.queue.push(s);

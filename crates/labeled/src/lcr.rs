@@ -50,7 +50,11 @@ pub struct LabeledIndexMeta {
 /// An alternation-based (LCR) reachability index: answers
 /// `Qr(s, t, (l1 ∪ l2 ∪ …)*)` where the alternation is given as the
 /// [`LabelSet`] of permitted labels.
-pub trait LcrIndex {
+///
+/// `Send + Sync` as supertraits, like the plain `ReachIndex`: labeled
+/// indexes are shared across query threads too, so per-query scratch
+/// lives in a lock-free `ScratchPool`, never a `RefCell`.
+pub trait LcrIndex: Send + Sync {
     /// Whether a path from `s` to `t` exists using only edges whose
     /// label lies in `allowed`. Every vertex reaches itself under any
     /// constraint (the empty path).
@@ -69,7 +73,9 @@ pub trait LcrIndex {
 /// A concatenation-based (RLC) reachability index: answers
 /// `Qr(s, t, (l1 · l2 · … · lk)*)` for concatenation units up to the
 /// length the index was built for.
-pub trait RlcIndexApi {
+///
+/// `Send + Sync` for the same reason as [`LcrIndex`].
+pub trait RlcIndexApi: Send + Sync {
     /// Whether a path from `s` to `t` exists whose label sequence is a
     /// (possibly empty for `s == t`, otherwise one-or-more-fold)
     /// repetition of `unit`. Returns `None` if `unit` is longer than

@@ -117,4 +117,48 @@ mod tests {
         assert!(!lcr_feasible("no such index", 10));
         assert!(lcr_spec("no such index").is_none());
     }
+
+    #[test]
+    fn lcr_trait_objects_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        assert_send_sync::<dyn LcrIndex>();
+        assert_send_sync::<Box<dyn LcrIndex>>();
+        assert_send_sync::<dyn crate::lcr::RlcIndexApi>();
+    }
+
+    #[test]
+    fn every_lcr_registry_index_is_shareable_across_threads() {
+        use reach_graph::{LabelSet, VertexId};
+        let g = fig();
+        let opts = BuildOpts::default();
+        let nl = g.num_labels();
+        let queries: Vec<(VertexId, VertexId, LabelSet)> = g
+            .vertices()
+            .flat_map(|s| {
+                (0..(1u64 << nl))
+                    .map(move |mask| (s, VertexId(s.0.wrapping_mul(3) % 9), LabelSet(mask)))
+            })
+            .collect();
+        for spec in LCR_REGISTRY {
+            let idx = (spec.build)(&g, &opts);
+            let expected: Vec<bool> = queries
+                .iter()
+                .map(|&(s, t, a)| idx.query(s, t, a))
+                .collect();
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let idx = &idx;
+                    let queries = &queries;
+                    let expected = &expected;
+                    scope.spawn(move || {
+                        let got: Vec<bool> = queries
+                            .iter()
+                            .map(|&(s, t, a)| idx.query(s, t, a))
+                            .collect();
+                        assert_eq!(&got, expected, "{} diverged under sharing", spec.name);
+                    });
+                }
+            });
+        }
+    }
 }
