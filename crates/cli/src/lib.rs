@@ -24,32 +24,69 @@ use reach_bench::registry::{
 };
 use reach_bench::report::{fmt_build_report, fmt_bytes, fmt_duration, timed, Table};
 use reach_bench::workloads::{Shape, ALL_SHAPES};
-use reach_graph::{io, DiGraph, LabeledGraph, PreparedGraph, VertexId};
+use reach_graph::{io, DiGraph, GraphError, LabeledGraph, PreparedGraph, VertexId};
 use reach_labeled::rlc::RlcIndex;
 use reach_labeled::{ConstraintKind, RlcIndexApi};
 use std::fmt;
 use std::io::Write;
 use std::sync::Arc;
 
-/// A CLI-level error with a user-facing message.
+/// A CLI-level error. Every variant renders a complete, user-facing
+/// message through `Display` (no `Debug` formatting anywhere on the
+/// error path) and chains its cause through `Error::source`, so CLI
+/// and server code compose errors with `?`.
 #[derive(Debug)]
-pub struct CliError(String);
+pub enum CliError {
+    /// Wrong arguments, unknown names, out-of-range values.
+    Usage(String),
+    /// Reading or writing a user-named file failed.
+    File {
+        /// The file the user named.
+        path: String,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
+    /// A graph file failed to parse; the [`GraphError`] carries the
+    /// 1-based line number of the offending edge line.
+    Graph {
+        /// The file the user named.
+        path: String,
+        /// What went wrong, and where.
+        source: GraphError,
+    },
+    /// Output-stream or server transport failure.
+    Io(std::io::Error),
+}
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        match self {
+            CliError::Usage(msg) => f.write_str(msg),
+            CliError::File { path, source } => write!(f, "{path}: {source}"),
+            CliError::Graph { path, source } => write!(f, "{path}: {source}"),
+            CliError::Io(source) => write!(f, "I/O error: {source}"),
+        }
     }
 }
 
-impl std::error::Error for CliError {}
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Usage(_) => None,
+            CliError::File { source, .. } => Some(source),
+            CliError::Graph { source, .. } => Some(source),
+            CliError::Io(source) => Some(source),
+        }
+    }
+}
 
 fn err(msg: impl Into<String>) -> CliError {
-    CliError(msg.into())
+    CliError::Usage(msg.into())
 }
 
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
-        err(e.to_string())
+        CliError::Io(e)
     }
 }
 
@@ -62,10 +99,18 @@ pub enum LoadedGraph {
 }
 
 /// Loads an edge-list file, detecting the labeled variant from the
-/// two-token header.
+/// two-token header. Errors name the offending path, and parse errors
+/// additionally carry the 1-based line number of the bad edge line.
 pub fn load_graph(path: &str) -> Result<LoadedGraph, CliError> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let file_err = |source| CliError::File {
+        path: path.to_string(),
+        source,
+    };
+    let graph_err = |source| CliError::Graph {
+        path: path.to_string(),
+        source,
+    };
+    let text = std::fs::read_to_string(path).map_err(file_err)?;
     let header = text
         .lines()
         .map(str::trim)
@@ -74,11 +119,11 @@ pub fn load_graph(path: &str) -> Result<LoadedGraph, CliError> {
     let labeled = header.split_whitespace().count() == 2;
     if labeled {
         Ok(LoadedGraph::Labeled(Arc::new(
-            io::read_labeled(&text).map_err(|e| err(format!("{path}: {e}")))?,
+            io::read_labeled(&text).map_err(graph_err)?,
         )))
     } else {
         Ok(LoadedGraph::Plain(Arc::new(
-            io::read_digraph(&text).map_err(|e| err(format!("{path}: {e}")))?,
+            io::read_digraph(&text).map_err(graph_err)?,
         )))
     }
 }
@@ -95,6 +140,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Some("lcr") => cmd_lcr(&args[1..], out),
         Some("witness") => cmd_witness(&args[1..], out),
         Some("bench") => cmd_bench(&args[1..], out),
+        Some("serve") => cmd_serve(&args[1..], out),
         Some(other) => Err(err(format!("unknown command {other:?}"))),
     }
 }
@@ -161,6 +207,8 @@ fn cmd_help(out: &mut dyn Write) -> Result<(), CliError> {
          \x20 lcr <graph> --index NAME --constraint EXPR <s> <t>     path-constrained reachability\n\
          \x20 witness <graph> [--constraint EXPR] <s> <t>            show an explaining path\n\
          \x20 bench <graph> [--index NAME ...] [--queries N] [--positive P]\n\
+         \x20 serve <graph> [--index NAME] [--lcr NAME] [--port N] [--workers K]\n\
+         \x20       [--threads N] [--port-file FILE]                 HTTP query service\n\
          \n\
          shapes: {}\n\
          constraint syntax: l | a·b (or a.b) | a∪b (or a|b) | a* | a+ | (...)\n\
@@ -239,7 +287,10 @@ fn cmd_gen(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     };
     match path {
         Some(p) => {
-            std::fs::write(&p, &text)?;
+            std::fs::write(&p, &text).map_err(|source| CliError::File {
+                path: p.clone(),
+                source,
+            })?;
             writeln!(out, "wrote {} ({} lines)", p, text.lines().count())?;
         }
         None => out.write_all(text.as_bytes())?,
@@ -416,8 +467,10 @@ fn parse_pairs(tokens: &[String], n: usize) -> Result<Vec<(VertexId, VertexId)>,
 /// Reads a batch file of `<s> <t>` lines (blank lines and `#` comments
 /// skipped) into query pairs.
 fn read_batch_file(path: &str, n: usize) -> Result<Vec<(VertexId, VertexId)>, CliError> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let text = std::fs::read_to_string(path).map_err(|source| CliError::File {
+        path: path.to_string(),
+        source,
+    })?;
     let tokens: Vec<String> = text
         .lines()
         .map(str::trim)
@@ -546,6 +599,130 @@ fn cmd_lcr(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             }
         }
     }
+    Ok(())
+}
+
+/// `serve <graph> [--index NAME] [--lcr NAME] [--port N] [--workers K]
+/// [--threads N] [--queue N] [--port-file FILE]`
+///
+/// Builds the chosen indexes once, then serves them over HTTP until a
+/// `POST /admin/shutdown` drains the worker pool. `--port 0` binds an
+/// ephemeral port; `--port-file` writes the bound address to a file so
+/// scripts (and CI) can discover it.
+fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    use reach_core::IndexService;
+    use reach_labeled::LcrService;
+    use reach_server::{ServerConfig, Services};
+
+    let mut graph_path: Option<String> = None;
+    let mut index = "BFL".to_string();
+    let mut lcr: Option<String> = None;
+    let mut port: u16 = 7878;
+    let mut port_file: Option<String> = None;
+    let mut cfg = ServerConfig::default();
+    let mut threads = 1usize;
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, CliError> {
+        args.get(i)
+            .cloned()
+            .ok_or_else(|| err(format!("{flag} needs a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--index" => {
+                i += 1;
+                index = value(args, i, "--index")?;
+            }
+            "--lcr" => {
+                i += 1;
+                lcr = Some(value(args, i, "--lcr")?);
+            }
+            "--port" => {
+                i += 1;
+                port = parse_num(&value(args, i, "--port")?, "port")?;
+            }
+            "--workers" => {
+                i += 1;
+                cfg.workers = parse_num(&value(args, i, "--workers")?, "worker count")?;
+                if cfg.workers == 0 {
+                    return Err(err("worker count must be at least 1"));
+                }
+            }
+            "--threads" => {
+                i += 1;
+                threads = parse_num(&value(args, i, "--threads")?, "thread count")?;
+                if threads == 0 {
+                    return Err(err("thread count must be at least 1"));
+                }
+            }
+            "--queue" => {
+                i += 1;
+                cfg.queue_capacity = parse_num(&value(args, i, "--queue")?, "queue capacity")?;
+            }
+            "--port-file" => {
+                i += 1;
+                port_file = Some(value(args, i, "--port-file")?);
+            }
+            other if graph_path.is_none() && !other.starts_with('-') => {
+                graph_path = Some(other.to_string());
+            }
+            other => return Err(err(format!("unknown serve flag {other:?}"))),
+        }
+        i += 1;
+    }
+    let path = graph_path.ok_or_else(|| err("usage: serve <graph> [--index NAME] [--lcr NAME]"))?;
+
+    let (g, labeled) = match load_graph(&path)? {
+        LoadedGraph::Plain(g) => (g, None),
+        LoadedGraph::Labeled(lg) => (Arc::new(lg.to_digraph()), Some(lg)),
+    };
+    let prepared = PreparedGraph::new_shared(g);
+    let plain = Arc::new(
+        IndexService::build(&index, prepared, &BuildOpts::default(), threads)
+            .map_err(|e| err(format!("{e} (see `reach indexes`)")))?,
+    );
+    writeln!(out, "built {}", fmt_build_report(plain.report()))?;
+    let lcr = match lcr {
+        None => None,
+        Some(name) => {
+            let Some(lg) = labeled else {
+                return Err(err(format!(
+                    "{path} is a plain graph; --lcr needs a labeled one"
+                )));
+            };
+            let svc = Arc::new(
+                LcrService::build(&name, lg, &BuildOpts::default())
+                    .map_err(|e| err(format!("{e} (see `reach indexes`)")))?,
+            );
+            writeln!(
+                out,
+                "built {} (LCR) in {}",
+                svc.name(),
+                fmt_duration(svc.build_time())
+            )?;
+            Some(svc)
+        }
+    };
+
+    cfg.addr = format!("127.0.0.1:{port}");
+    let handle = reach_server::start(Services { plain, lcr }, cfg.clone())?;
+    if let Some(pf) = &port_file {
+        std::fs::write(pf, handle.addr().to_string()).map_err(|source| CliError::File {
+            path: pf.clone(),
+            source,
+        })?;
+    }
+    writeln!(
+        out,
+        "serving {path} on http://{} ({} workers, {} engine threads); \
+         POST /query, /batch, /lcr — GET /healthz, /metrics — POST /admin/shutdown to stop",
+        handle.addr(),
+        cfg.workers,
+        threads
+    )?;
+    out.flush()?;
+    handle.join();
+    writeln!(out, "server drained and stopped")?;
     Ok(())
 }
 
@@ -873,5 +1050,122 @@ mod tests {
     fn indexes_lists_the_taxonomy() {
         let s = run_to_string(&["indexes"]).unwrap();
         assert!(s.contains("GRAIL") && s.contains("P2H+") && s.contains("RLC index"));
+    }
+
+    #[test]
+    fn load_graph_errors_name_the_path_and_line() {
+        // missing file: the path must appear
+        let e = load_graph("/nonexistent/graph.el").err().unwrap();
+        assert!(matches!(e, CliError::File { .. }));
+        assert!(e.to_string().contains("/nonexistent/graph.el"));
+        // bad edge line: path AND 1-based line number must appear
+        let path = tmp("bad_edge.el");
+        std::fs::write(&path, "5\n0 1\n1 bogus\n").unwrap();
+        let e = load_graph(&path).err().unwrap();
+        assert!(matches!(e, CliError::Graph { .. }));
+        let msg = e.to_string();
+        assert!(msg.contains(&path), "path missing in {msg:?}");
+        assert!(msg.contains("line 3"), "line number missing in {msg:?}");
+        // the cause chains through Error::source for `?` composition
+        assert!(std::error::Error::source(&e).is_some());
+        // labeled variant too
+        std::fs::write(&path, "5 2\n0 0 1\n0 9 1\n").unwrap();
+        let msg = load_graph(&path).err().unwrap().to_string();
+        assert!(msg.contains("line 3"), "{msg:?}");
+    }
+
+    #[test]
+    fn serve_round_trip_over_http() {
+        use reach_server::request_once;
+        use std::time::Duration;
+
+        let path = tmp("serve1.el");
+        run_to_string(&[
+            "gen",
+            "sparse-dag",
+            "150",
+            "--labels",
+            "3",
+            "--seed",
+            "8",
+            "--out",
+            &path,
+        ])
+        .unwrap();
+        let pf = tmp("serve1.port");
+        let _ = std::fs::remove_file(&pf);
+        let args: Vec<String> = [
+            "serve",
+            &path,
+            "--index",
+            "BFL",
+            "--lcr",
+            "Landmark index",
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--threads",
+            "2",
+            "--port-file",
+            &pf,
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let server = std::thread::spawn(move || {
+            let mut buf = Vec::new();
+            run(&args, &mut buf).map(|()| String::from_utf8(buf).unwrap())
+        });
+        // wait for the port file to appear
+        let addr = {
+            let mut tries = 0;
+            loop {
+                if let Ok(s) = std::fs::read_to_string(&pf) {
+                    if !s.is_empty() {
+                        break s;
+                    }
+                }
+                tries += 1;
+                assert!(tries < 200, "server never wrote the port file");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        };
+        let t = Duration::from_secs(10);
+        assert_eq!(
+            request_once(&*addr, t, "GET", "/healthz", "").unwrap().body,
+            "ok\n"
+        );
+        let r = request_once(&*addr, t, "POST", "/query", "0 149").unwrap();
+        assert!(r.status == 200 && (r.body == "true\n" || r.body == "false\n"));
+        let r = request_once(&*addr, t, "POST", "/lcr", "0 149 *").unwrap();
+        assert_eq!(r.status, 200);
+        let r = request_once(&*addr, t, "POST", "/batch", "0 1\n2 3\n").unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body.lines().count(), 2);
+        let metrics = request_once(&*addr, t, "GET", "/metrics", "").unwrap().body;
+        assert!(metrics.contains("reach_build_info{index=\"BFL\""));
+        // graceful shutdown unblocks the serve command
+        request_once(&*addr, t, "POST", "/admin/shutdown", "").unwrap();
+        let out = server.join().unwrap().unwrap();
+        assert!(out.contains("built BFL"), "{out}");
+        assert!(out.contains("serving"), "{out}");
+        assert!(out.contains("server drained and stopped"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_configs() {
+        let path = tmp("serve2.el");
+        run_to_string(&["gen", "sparse-dag", "30", "--out", &path]).unwrap();
+        // --lcr on a plain graph
+        let e = run_to_string(&["serve", &path, "--lcr", "P2H+", "--port", "0"]).unwrap_err();
+        assert!(e.to_string().contains("labeled"), "{e}");
+        // unknown index
+        let e = run_to_string(&["serve", &path, "--index", "Nope", "--port", "0"]).unwrap_err();
+        assert!(e.to_string().contains("Nope"), "{e}");
+        // zero workers, missing graph, unknown flag
+        assert!(run_to_string(&["serve", &path, "--workers", "0"]).is_err());
+        assert!(run_to_string(&["serve"]).is_err());
+        assert!(run_to_string(&["serve", &path, "--frob"]).is_err());
     }
 }

@@ -42,6 +42,7 @@ pub mod pipeline;
 pub mod pll;
 pub mod preach;
 pub mod query_engine;
+pub mod service;
 pub mod sspi;
 pub mod tc;
 pub mod tol;
@@ -55,4 +56,5 @@ pub use index::{
 };
 pub use pipeline::{BuildOpts, BuildReport, BuilderSpec, PlainSpec};
 pub use query_engine::QueryEngine;
+pub use service::{IndexService, UnknownIndex};
 pub use tc::TransitiveClosure;

@@ -46,6 +46,6 @@ pub use error::GraphError;
 pub use labeled::{Label, LabelSet, LabeledGraph, LabeledGraphBuilder};
 pub use prepare::PreparedGraph;
 pub use scc::SccDecomposition;
-pub use scratch::{ScratchGuard, ScratchPool};
+pub use scratch::{overflow_count as scratch_overflow_count, ScratchGuard, ScratchPool};
 pub use traverse::VisitMap;
 pub use vertex::VertexId;

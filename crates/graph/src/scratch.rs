@@ -16,11 +16,23 @@
 
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Number of pooled slots. Checkouts beyond this many *concurrent*
 /// queries allocate fresh scratch; the pool re-fills as guards drop.
 const SLOTS: usize = 16;
+
+/// Process-wide count of checkouts that found every slot busy and had
+/// to allocate a throwaway buffer. A sustained non-zero rate under
+/// load means more than [`SLOTS`] queries run concurrently per pool —
+/// the signal a serving deployment watches (it is exported verbatim on
+/// `reach-server`'s `/metrics`).
+static OVERFLOWS: AtomicU64 = AtomicU64::new(0);
+
+/// Total overflow checkouts across every pool in the process.
+pub fn overflow_count() -> u64 {
+    OVERFLOWS.load(Ordering::Relaxed)
+}
 
 struct Slot<T> {
     busy: AtomicBool,
@@ -75,6 +87,7 @@ impl<T> ScratchPool<T> {
                 };
             }
         }
+        OVERFLOWS.fetch_add(1, Ordering::Relaxed);
         ScratchGuard {
             pool: None,
             item: Some(make()),
@@ -156,11 +169,15 @@ mod tests {
 
     #[test]
     fn overflow_beyond_slots_still_works() {
+        let before = overflow_count();
         let pool: ScratchPool<u32> = ScratchPool::new();
         let guards: Vec<_> = (0..SLOTS + 4).map(|i| pool.checkout(|| i as u32)).collect();
         for (i, g) in guards.iter().enumerate() {
             assert_eq!(**g, i as u32);
         }
+        // tests run concurrently, so other pools may overflow too —
+        // but at least our 4 extra checkouts must have been counted
+        assert!(overflow_count() >= before + 4);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod p2h;
 pub mod pipeline;
 pub mod rlc;
 pub mod rpq_index;
+pub mod service;
 pub mod spls;
 pub mod witness;
 pub mod zou;
@@ -37,5 +38,6 @@ pub mod zou;
 pub use constraint::{parse, Ast, ConstraintKind, Nfa};
 pub use lcr::{ConstraintClass, LabeledIndexMeta, LcrFramework, LcrIndex, RlcIndexApi};
 pub use pipeline::LcrSpec;
+pub use service::{LcrService, UnknownLcrIndex};
 pub use spls::SplsSet;
 pub use witness::Witness;

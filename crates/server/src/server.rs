@@ -1,0 +1,494 @@
+//! The threaded HTTP query service: a listener thread feeding a
+//! bounded connection queue drained by a fixed worker pool.
+//!
+//! Admission control happens in three places, each returning a real
+//! HTTP status instead of falling over:
+//!
+//! * **accept**: when the queue already holds `queue_capacity`
+//!   connections the listener answers `429` and closes — workers never
+//!   see the connection;
+//! * **head**: header blocks over [`crate::http::MAX_HEAD_BYTES`] get
+//!   `431`, bodies declared larger than `max_body_bytes` get `413`,
+//!   both before any proportional allocation;
+//! * **time**: per-socket read/write timeouts turn a stalled client
+//!   into a `408` (or a dropped write) instead of a parked worker.
+//!
+//! Shutdown is a flag plus a drain: `shutdown()` (or
+//! `POST /admin/shutdown`) stops the accept loop, then every queued
+//! connection is served exactly one final response with
+//! `Connection: close`, then workers exit and `join()` returns. A
+//! request that was accepted is always answered in full.
+
+use crate::http::{read_request, write_response, RecvError, Request};
+use crate::metrics::{Endpoint, Metrics};
+use reach_core::IndexService;
+use reach_graph::{Label, LabelSet, VertexId};
+use reach_labeled::LcrService;
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads draining the connection queue.
+    pub workers: usize,
+    /// Bound on connections waiting for a worker; beyond it, `429`.
+    pub queue_capacity: usize,
+    /// Per-socket read timeout (stalled request → `408`).
+    pub read_timeout: Duration,
+    /// Per-socket write timeout (stalled client → connection dropped).
+    pub write_timeout: Duration,
+    /// Admission cap on request bodies (`413` beyond it).
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_capacity: 128,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_body_bytes: 1 << 20,
+        }
+    }
+}
+
+/// The warm indexes a server answers from: a plain service (always)
+/// and optionally an LCR service over the labeled variant of the same
+/// graph.
+pub struct Services {
+    /// Plain reachability: `/query` and `/batch`.
+    pub plain: Arc<IndexService>,
+    /// Label-constrained reachability: `/lcr` (404 when absent).
+    pub lcr: Option<Arc<LcrService>>,
+}
+
+impl Services {
+    /// Build-report lines appended to the `/metrics` exposition.
+    fn build_info(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let r = self.plain.report();
+        let _ = writeln!(
+            out,
+            "reach_build_info{{index=\"{}\",n=\"{}\",m=\"{}\"}} 1",
+            self.plain.name(),
+            self.plain.num_vertices(),
+            self.plain.num_edges()
+        );
+        for (phase, d) in [
+            ("condense", r.condense),
+            ("order", r.order),
+            ("label", r.label),
+            ("total", r.total),
+        ] {
+            let _ = writeln!(
+                out,
+                "reach_build_seconds{{phase=\"{phase}\"}} {:.6}",
+                d.as_secs_f64()
+            );
+        }
+        let _ = writeln!(out, "reach_index_bytes {}", r.size_bytes);
+        let _ = writeln!(out, "reach_index_entries {}", r.size_entries);
+        let _ = writeln!(out, "reach_engine_threads {}", self.plain.engine_threads());
+        if let Some(lcr) = &self.lcr {
+            let _ = writeln!(
+                out,
+                "reach_build_info{{index=\"{}\",kind=\"lcr\",n=\"{}\",labels=\"{}\"}} 1",
+                lcr.name(),
+                lcr.num_vertices(),
+                lcr.num_labels()
+            );
+            let _ = writeln!(
+                out,
+                "reach_build_seconds{{phase=\"lcr_total\"}} {:.6}",
+                lcr.build_time().as_secs_f64()
+            );
+        }
+        out
+    }
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    addr: SocketAddr,
+    services: Services,
+    build_info: String,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    not_empty: Condvar,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.not_empty.notify_all();
+        // wake the accept loop so the listener thread observes the flag
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running server: its bound address, its metrics, and the handle to
+/// stop it.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Live metrics for this instance.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Whether shutdown has been initiated.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Initiates graceful shutdown: stop accepting, drain the queue,
+    /// answer every accepted request. Idempotent; returns immediately.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Waits for the listener and every worker to exit. Call
+    /// [`ServerHandle::shutdown`] first (or hit `/admin/shutdown`) or
+    /// this blocks until someone does.
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// [`ServerHandle::shutdown`] then [`ServerHandle::join`].
+    pub fn shutdown_and_join(self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+/// Binds, spawns the listener and `cfg.workers` workers, and returns.
+pub fn start(services: Services, cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let build_info = services.build_info();
+    let workers = cfg.workers.max(1);
+    let shared = Arc::new(Shared {
+        cfg,
+        addr,
+        services,
+        build_info,
+        metrics: Metrics::new(),
+        shutdown: AtomicBool::new(false),
+        queue: Mutex::new(VecDeque::new()),
+        not_empty: Condvar::new(),
+    });
+    let mut threads = Vec::with_capacity(workers + 1);
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || accept_loop(&shared, listener)));
+    }
+    for _ in 0..workers {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || worker_loop(&shared)));
+    }
+    Ok(ServerHandle { shared, threads })
+}
+
+fn accept_loop(shared: &Shared, listener: TcpListener) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // likely the wake-up connection from begin_shutdown; any
+            // real late-comer gets a clean 503 instead of a hang
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+            let _ = write_response(&mut stream, 503, "shutting down\n", false);
+            return;
+        }
+        shared.metrics.record_connection();
+        let rejected = {
+            let mut queue = shared.queue.lock().unwrap();
+            if queue.len() >= shared.cfg.queue_capacity {
+                Some(stream)
+            } else {
+                queue.push_back(stream);
+                shared.not_empty.notify_one();
+                None
+            }
+        };
+        if let Some(mut stream) = rejected {
+            // admission control: reject at the door, don't park
+            shared.metrics.record_queue_full();
+            let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+            let _ = write_response(
+                &mut stream,
+                429,
+                "server busy: connection queue full\n",
+                false,
+            );
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared.not_empty.wait(queue).unwrap();
+            }
+        };
+        match stream {
+            Some(stream) => serve_connection(shared, stream),
+            None => return,
+        }
+    }
+}
+
+/// Granularity at which an idle worker re-checks the shutdown flag.
+const IDLE_POLL: Duration = Duration::from_millis(25);
+
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(reader_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(reader_half);
+    let mut stream = stream;
+    loop {
+        // Idle wait: poll for the first byte of the next request in
+        // short slices so a blocked worker notices shutdown quickly.
+        // `fill_buf` consumes nothing, so timing out here never
+        // corrupts a request; once bytes arrive the full read timeout
+        // governs the actual parse.
+        let idle_deadline = Instant::now() + shared.cfg.read_timeout;
+        let _ = stream.set_read_timeout(Some(IDLE_POLL));
+        loop {
+            use std::io::BufRead as _;
+            match reader.fill_buf() {
+                Ok([]) => return, // clean EOF between requests
+                Ok(_) => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return; // drain: idle connections just close
+                    }
+                    if Instant::now() >= idle_deadline {
+                        let _ = write_response(&mut stream, 408, "request read timed out\n", false);
+                        shared
+                            .metrics
+                            .record_request(Endpoint::Other, Duration::ZERO, 408);
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+        let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+        match read_request(&mut reader, shared.cfg.max_body_bytes) {
+            Ok(req) => {
+                let started = Instant::now();
+                let (endpoint, status, body) = route(shared, &req);
+                let keep = req.keep_alive
+                    && endpoint != Endpoint::Shutdown
+                    && !shared.shutdown.load(Ordering::SeqCst);
+                let write = write_response(&mut stream, status, &body, keep);
+                shared
+                    .metrics
+                    .record_request(endpoint, started.elapsed(), status);
+                if write.is_err() || !keep {
+                    return;
+                }
+            }
+            Err(RecvError::Closed) => return,
+            Err(RecvError::Io(_)) => return,
+            Err(e) => {
+                let (status, msg) = match e {
+                    RecvError::Timeout => (408, "request read timed out\n".to_string()),
+                    RecvError::BodyTooLarge { declared, limit } => {
+                        // drain a bounded amount of the oversized body
+                        // so closing doesn't RST the client before it
+                        // reads the 413 (unread data triggers a reset)
+                        let drain = declared.min(256 * 1024) as u64;
+                        let _ = std::io::copy(
+                            &mut std::io::Read::take(&mut reader, drain),
+                            &mut std::io::sink(),
+                        );
+                        (
+                            413,
+                            format!("body of {declared} bytes exceeds the {limit}-byte limit\n"),
+                        )
+                    }
+                    RecvError::HeadTooLarge => (431, "header block too large\n".to_string()),
+                    RecvError::Malformed(m) => (400, format!("bad request: {m}\n")),
+                    RecvError::Closed | RecvError::Io(_) => unreachable!("handled above"),
+                };
+                let _ = write_response(&mut stream, status, &msg, false);
+                shared
+                    .metrics
+                    .record_request(Endpoint::Other, Duration::ZERO, status);
+                return;
+            }
+        }
+    }
+}
+
+/// Routes one request; returns `(endpoint, status, body)`.
+fn route(shared: &Shared, req: &Request) -> (Endpoint, u16, String) {
+    let path = req.path.split('?').next().unwrap_or(&req.path);
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => (Endpoint::Healthz, 200, "ok\n".into()),
+        ("GET", "/metrics") => (
+            Endpoint::Metrics,
+            200,
+            shared.metrics.render(&shared.build_info),
+        ),
+        ("POST", "/query") => match handle_query(shared, &req.body) {
+            Ok(body) => (Endpoint::Query, 200, body),
+            Err(msg) => (Endpoint::Query, 400, msg),
+        },
+        ("POST", "/batch") => match handle_batch(shared, &req.body) {
+            Ok(body) => (Endpoint::Batch, 200, body),
+            Err(msg) => (Endpoint::Batch, 400, msg),
+        },
+        ("POST", "/lcr") => match &shared.services.lcr {
+            None => (
+                Endpoint::Lcr,
+                404,
+                "no LCR index loaded (start with --lcr NAME over a labeled graph)\n".into(),
+            ),
+            Some(svc) => match handle_lcr(svc, &req.body) {
+                Ok(body) => (Endpoint::Lcr, 200, body),
+                Err(msg) => (Endpoint::Lcr, 400, msg),
+            },
+        },
+        ("POST", "/admin/shutdown") => {
+            shared.begin_shutdown();
+            (Endpoint::Shutdown, 200, "draining\n".into())
+        }
+        (_, "/healthz" | "/metrics" | "/query" | "/batch" | "/lcr" | "/admin/shutdown") => (
+            Endpoint::Other,
+            405,
+            format!("method {} not allowed on {path}\n", req.method),
+        ),
+        _ => (Endpoint::Other, 404, format!("no such endpoint {path}\n")),
+    }
+}
+
+fn parse_vertex(tok: &str, n: usize) -> Result<VertexId, String> {
+    let id: u32 = tok
+        .parse()
+        .map_err(|_| format!("bad vertex id {tok:?}\n"))?;
+    if id as usize >= n {
+        return Err(format!("vertex id {id} out of range (n = {n})\n"));
+    }
+    Ok(VertexId(id))
+}
+
+fn parse_pair(line: &str, n: usize) -> Result<(VertexId, VertexId), String> {
+    let mut toks = line.split_whitespace();
+    let (Some(s), Some(t), None) = (toks.next(), toks.next(), toks.next()) else {
+        return Err(format!("expected \"<s> <t>\", got {line:?}\n"));
+    };
+    Ok((parse_vertex(s, n)?, parse_vertex(t, n)?))
+}
+
+fn handle_query(shared: &Shared, body: &str) -> Result<String, String> {
+    let svc = &shared.services.plain;
+    let (s, t) = parse_pair(body.trim(), svc.num_vertices())?;
+    Ok(if svc.query(s, t) { "true\n" } else { "false\n" }.into())
+}
+
+fn handle_batch(shared: &Shared, body: &str) -> Result<String, String> {
+    let svc = &shared.services.plain;
+    let n = svc.num_vertices();
+    let pairs: Vec<(VertexId, VertexId)> = body
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| parse_pair(l, n))
+        .collect::<Result<_, _>>()?;
+    if pairs.is_empty() {
+        return Err("empty batch: send one \"<s> <t>\" pair per line\n".into());
+    }
+    shared.metrics.record_batch(pairs.len());
+    let answers = svc.query_batch(&pairs);
+    let mut out = String::with_capacity(6 * answers.len());
+    for a in answers {
+        out.push_str(if a { "true\n" } else { "false\n" });
+    }
+    Ok(out)
+}
+
+fn handle_lcr(svc: &LcrService, body: &str) -> Result<String, String> {
+    let mut toks = body.split_whitespace();
+    let (Some(s), Some(t), Some(labels), None) =
+        (toks.next(), toks.next(), toks.next(), toks.next())
+    else {
+        return Err(format!(
+            "expected \"<s> <t> <l1,l2,…|*>\", got {:?}\n",
+            body.trim()
+        ));
+    };
+    let n = svc.num_vertices();
+    let (s, t) = (parse_vertex(s, n)?, parse_vertex(t, n)?);
+    let k = svc.num_labels();
+    let allowed = if labels == "*" {
+        LabelSet::full(k)
+    } else {
+        let mut set = LabelSet(0);
+        for tok in labels.split(',') {
+            let l: u32 = tok.parse().map_err(|_| format!("bad label {tok:?}\n"))?;
+            if l as usize >= k {
+                return Err(format!("label {l} outside alphabet 0..{k}\n"));
+            }
+            let l = Label::try_new(l).map_err(|e| format!("{e}\n"))?;
+            set = set.insert(l);
+        }
+        set
+    };
+    Ok(if svc.query(s, t, allowed) {
+        "true\n"
+    } else {
+        "false\n"
+    }
+    .into())
+}
