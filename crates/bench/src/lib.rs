@@ -12,6 +12,8 @@
 //!   (§5's argument revolves around unreachable-heavy mixes);
 //! * [`report`] — fixed-width table printing and wall-clock helpers.
 
+#![forbid(unsafe_code)]
+
 pub mod queries;
 pub mod registry;
 pub mod report;

@@ -17,6 +17,8 @@
 //! The library surface exists so tests can drive every command
 //! in-process; `main.rs` is a thin wrapper.
 
+#![forbid(unsafe_code)]
+
 use reach_bench::queries::query_mix;
 use reach_bench::registry::{
     build_lcr, build_plain_with_report, lcr_names, plain_feasible, plain_names, plain_native_meta,
@@ -140,6 +142,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Some("lcr") => cmd_lcr(&args[1..], out),
         Some("witness") => cmd_witness(&args[1..], out),
         Some("bench") => cmd_bench(&args[1..], out),
+        Some("verify") => cmd_verify(&args[1..], out),
         Some("serve") => cmd_serve(&args[1..], out),
         Some(other) => Err(err(format!("unknown command {other:?}"))),
     }
@@ -207,6 +210,8 @@ fn cmd_help(out: &mut dyn Write) -> Result<(), CliError> {
          \x20 lcr <graph> --index NAME --constraint EXPR <s> <t>     path-constrained reachability\n\
          \x20 witness <graph> [--constraint EXPR] <s> <t>            show an explaining path\n\
          \x20 bench <graph> [--index NAME ...] [--queries N] [--positive P]\n\
+         \x20 verify <graph> (--index NAME ...|--all) [--queries N] [--seed S]\n\
+         \x20        audit index invariants against the BFS ground truth\n\
          \x20 serve <graph> [--index NAME] [--lcr NAME] [--port N] [--workers K]\n\
          \x20       [--threads N] [--port-file FILE]                 HTTP query service\n\
          \n\
@@ -366,6 +371,8 @@ struct Flags {
     positive: f64,
     batch: Option<String>,
     threads: usize,
+    all: bool,
+    seed: Option<u64>,
     rest: Vec<String>,
 }
 
@@ -378,6 +385,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
         positive: 0.5,
         batch: None,
         threads: 1,
+        all: false,
+        seed: None,
         rest: Vec::new(),
     };
     let mut i = 0;
@@ -429,6 +438,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
                         .ok_or_else(|| err("--batch needs a file"))?
                         .clone(),
                 );
+            }
+            "--all" => f.all = true,
+            "--seed" => {
+                i += 1;
+                f.seed = Some(parse_num(
+                    args.get(i).ok_or_else(|| err("--seed needs a value"))?,
+                    "seed",
+                )?);
             }
             "--threads" => {
                 i += 1;
@@ -723,6 +740,124 @@ fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     out.flush()?;
     handle.join();
     writeln!(out, "server drained and stopped")?;
+    Ok(())
+}
+
+/// `verify <graph> (--index NAME ...|--all) [--queries N] [--seed S]`
+///
+/// Rebuilds each chosen index over the graph and runs the invariant
+/// audit: a sampled differential against the BFS ground truth,
+/// batch-vs-scalar consistency, self-reachability, and the technique's
+/// own structural invariants (interval nesting, 2-hop cover soundness
+/// and completeness, condensation consistency, …). Labeled graphs
+/// additionally audit the LCR indexes against the constrained BFS.
+/// Exits nonzero if any audited index reports a violation.
+fn cmd_verify(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    use reach_core::audit::{AuditConfig, AuditOutcome};
+    use reach_labeled::pipeline::lcr_feasible;
+
+    let flags = parse_flags(args)?;
+    let [path] = flags.rest.as_slice() else {
+        return Err(err(
+            "usage: verify <graph> (--index NAME ...|--all) [--queries N] [--seed S]",
+        ));
+    };
+    if flags.indexes.is_empty() && !flags.all {
+        return Err(err("verify needs --index NAME (repeatable) or --all"));
+    }
+    let (g, labeled) = match load_graph(path)? {
+        LoadedGraph::Plain(g) => (g, None),
+        LoadedGraph::Labeled(lg) => (Arc::new(lg.to_digraph()), Some(lg)),
+    };
+    let cfg = AuditConfig {
+        pairs: flags.queries,
+        seed: flags.seed.unwrap_or(AuditConfig::default().seed),
+    };
+    let opts = BuildOpts::default();
+    let prepared = PreparedGraph::new_shared(Arc::clone(&g));
+    let plain_known = plain_names();
+    let lcr_known = lcr_names();
+
+    let selected: Vec<&str> = if flags.all {
+        plain_known
+            .iter()
+            .copied()
+            .chain(if labeled.is_some() {
+                lcr_known.clone()
+            } else {
+                Vec::new()
+            })
+            .collect()
+    } else {
+        flags.indexes.iter().map(String::as_str).collect()
+    };
+
+    let mut audited = 0usize;
+    let mut total_violations = 0usize;
+    let mut report = |out: &mut dyn Write, outcome: AuditOutcome| -> Result<(), CliError> {
+        audited += 1;
+        total_violations += outcome.violations.len();
+        if outcome.is_clean() {
+            writeln!(
+                out,
+                "{}: ok ({} pairs checked)",
+                outcome.name, outcome.pairs_checked
+            )?;
+        } else {
+            writeln!(
+                out,
+                "{}: {} violation(s) on {} pairs",
+                outcome.name,
+                outcome.violations.len(),
+                outcome.pairs_checked
+            )?;
+            for v in &outcome.violations {
+                writeln!(out, "  {v}")?;
+            }
+        }
+        Ok(())
+    };
+
+    for name in selected {
+        if plain_known.contains(&name) {
+            if !plain_feasible(name, g.num_vertices(), g.num_edges()) {
+                writeln!(
+                    out,
+                    "{name}: skipped (infeasible at n={}, m={})",
+                    g.num_vertices(),
+                    g.num_edges()
+                )?;
+                continue;
+            }
+            if let Some(outcome) = reach_core::audit::audit_plain(name, &prepared, &opts, &cfg) {
+                report(out, outcome)?;
+            }
+        } else if lcr_known.contains(&name) {
+            let Some(lg) = &labeled else {
+                writeln!(out, "{name}: skipped ({path} is a plain graph)")?;
+                continue;
+            };
+            if !lcr_feasible(name, lg.num_vertices()) {
+                writeln!(
+                    out,
+                    "{name}: skipped (infeasible at n={})",
+                    lg.num_vertices()
+                )?;
+                continue;
+            }
+            if let Some(outcome) = reach_labeled::audit_lcr(name, lg, &opts, &cfg) {
+                report(out, outcome)?;
+            }
+        } else {
+            return Err(err(format!("unknown index {name:?} (see `reach indexes`)")));
+        }
+    }
+    if total_violations > 0 {
+        return Err(err(format!(
+            "verify: {total_violations} violation(s) across {audited} audited index(es)"
+        )));
+    }
+    writeln!(out, "verify: {audited} index(es) audited, 0 violations")?;
     Ok(())
 }
 
@@ -1044,6 +1179,53 @@ mod tests {
         // out-of-range vertex in the batch file
         std::fs::write(&batch, "0 999\n").unwrap();
         assert!(run_to_string(&["query", &path, "--index", "BFL", "--batch", &batch]).is_err());
+    }
+
+    #[test]
+    fn verify_audits_named_indexes() {
+        let path = tmp("v1.el");
+        run_to_string(&["gen", "cyclic", "150", "--seed", "12", "--out", &path]).unwrap();
+        let s = run_to_string(&[
+            "verify",
+            &path,
+            "--index",
+            "GRAIL",
+            "--index",
+            "PLL",
+            "--queries",
+            "200",
+        ])
+        .unwrap();
+        assert!(s.contains("GRAIL: ok (200 pairs checked)"), "{s}");
+        assert!(s.contains("PLL: ok"), "{s}");
+        assert!(s.contains("2 index(es) audited, 0 violations"), "{s}");
+    }
+
+    #[test]
+    fn verify_all_covers_both_registries_on_labeled_graphs() {
+        let path = tmp("v2.el");
+        run_to_string(&[
+            "gen", "cyclic", "120", "--labels", "3", "--seed", "13", "--out", &path,
+        ])
+        .unwrap();
+        let s = run_to_string(&["verify", &path, "--all", "--queries", "100"]).unwrap();
+        // a plain technique and an LCR technique both get audited
+        assert!(s.contains("GRAIL: ok"), "{s}");
+        assert!(s.contains("P2H+: ok"), "{s}");
+        assert!(s.contains("0 violations"), "{s}");
+    }
+
+    #[test]
+    fn verify_errors_are_user_facing() {
+        let path = tmp("v3.el");
+        run_to_string(&["gen", "sparse-dag", "40", "--out", &path]).unwrap();
+        // no selection
+        assert!(run_to_string(&["verify", &path]).is_err());
+        // unknown index
+        assert!(run_to_string(&["verify", &path, "--index", "Nope"]).is_err());
+        // LCR index against a plain graph is a skip, not an error
+        let s = run_to_string(&["verify", &path, "--index", "P2H+"]).unwrap();
+        assert!(s.contains("P2H+: skipped"), "{s}");
     }
 
     #[test]

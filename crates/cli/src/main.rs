@@ -1,5 +1,7 @@
 //! `reach` — the command-line front end of the reachability workspace.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

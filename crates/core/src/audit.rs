@@ -1,0 +1,513 @@
+//! The index-invariant audit subsystem.
+//!
+//! Every index family in the survey rests on a structural invariant —
+//! tree-cover intervals must nest along edges, 2-hop covers must be
+//! sound and complete, approximate-TC filters must never produce
+//! false negatives.  This module gives those invariants a runtime
+//! check: [`crate::ReachIndex::check_invariants`] (and the
+//! [`crate::ReachFilter`] twin) let each family validate its own
+//! labels, and [`audit_index`]/[`audit_plain`] wrap that structural
+//! pass with a sampled differential against the BFS ground truth,
+//! batch-vs-scalar consistency, and self-reachability probes.
+//!
+//! The CLI surfaces the whole thing as `reach verify --index
+//! NAME|--all`; the differential property suite in
+//! `tests/verify_differential.rs` runs it across the registry.
+
+use crate::index::ReachIndex;
+use crate::pipeline::{BuildOpts, PlainSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use reach_graph::traverse::{self, VisitMap};
+use reach_graph::{DiGraph, PreparedGraph, VertexId};
+use std::fmt;
+
+/// One invariant violation found by an audit. The audit API reports
+/// all findings instead of stopping at the first, so a broken build
+/// shows the blast radius at once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Technique name (`IndexMeta::name`).
+    pub index: &'static str,
+    /// Short rule identifier, e.g. `"2hop-completeness"`.
+    pub rule: &'static str,
+    /// Human-readable description of the failing instance.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: [{}] {}", self.index, self.rule, self.detail)
+    }
+}
+
+/// Sampling parameters for an audit run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditConfig {
+    /// Query pairs drawn for the differential pass.
+    pub pairs: usize,
+    /// Seed for the pair sampler.
+    pub seed: u64,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            pairs: 1_000,
+            seed: 0xA0D17,
+        }
+    }
+}
+
+/// The result of auditing one index.
+#[derive(Debug, Clone)]
+pub struct AuditOutcome {
+    /// Technique name.
+    pub name: &'static str,
+    /// Differential pairs actually checked.
+    pub pairs_checked: usize,
+    /// Every violation found (empty = clean).
+    pub violations: Vec<Violation>,
+}
+
+impl AuditOutcome {
+    /// No violations of any kind.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Caps per finding category so a systematically broken index emits a
+/// readable report, not one line per sampled pair.
+const MAX_PER_RULE: usize = 5;
+
+/// Audits a built index against `g`: sampled differential vs the
+/// multi-source-BFS ground truth, `query_batch` vs scalar `query`
+/// consistency, self-reachability, and the index's own structural
+/// [`check_invariants`](ReachIndex::check_invariants) hook.
+pub fn audit_index(idx: &dyn ReachIndex, g: &DiGraph, cfg: &AuditConfig) -> AuditOutcome {
+    let name = idx.meta().name;
+    let mut violations = Vec::new();
+    let pairs = sample_pairs(g, cfg);
+
+    // Differential: the index must agree with traversal on every
+    // sampled pair. Soundness and completeness failures are reported
+    // separately because they implicate different invariants.
+    let truth = traverse::batch_reaches(g, &pairs);
+    let scalar: Vec<bool> = pairs.iter().map(|&(s, t)| idx.query(s, t)).collect();
+    let mut false_pos = 0usize;
+    let mut false_neg = 0usize;
+    for (i, &(s, t)) in pairs.iter().enumerate() {
+        if scalar[i] == truth[i] {
+            continue;
+        }
+        if scalar[i] {
+            false_pos += 1;
+            if false_pos <= MAX_PER_RULE {
+                violations.push(Violation {
+                    index: name,
+                    rule: "differential-soundness",
+                    detail: format!("claims {s:?} reaches {t:?}, but no path exists"),
+                });
+            }
+        } else {
+            false_neg += 1;
+            if false_neg <= MAX_PER_RULE {
+                violations.push(Violation {
+                    index: name,
+                    rule: "differential-completeness",
+                    detail: format!("denies {s:?} reaches {t:?}, but a path exists"),
+                });
+            }
+        }
+    }
+    overflow_note(name, "differential-soundness", false_pos, &mut violations);
+    overflow_note(
+        name,
+        "differential-completeness",
+        false_neg,
+        &mut violations,
+    );
+
+    // Batch evaluation must return exactly what the per-pair loop does.
+    let batch = idx.query_batch(&pairs);
+    let mut batch_bad = 0usize;
+    for (i, &(s, t)) in pairs.iter().enumerate() {
+        if batch[i] != scalar[i] {
+            batch_bad += 1;
+            if batch_bad <= MAX_PER_RULE {
+                violations.push(Violation {
+                    index: name,
+                    rule: "batch-consistency",
+                    detail: format!(
+                        "query_batch says {} for {s:?}->{t:?}, scalar query says {}",
+                        batch[i], scalar[i]
+                    ),
+                });
+            }
+        }
+    }
+    overflow_note(name, "batch-consistency", batch_bad, &mut violations);
+
+    // Reflexivity: every vertex reaches itself.
+    for v in sample_vertices(g.num_vertices(), 64) {
+        if !idx.query(v, v) {
+            violations.push(Violation {
+                index: name,
+                rule: "self-reachability",
+                detail: format!("{v:?} does not reach itself"),
+            });
+        }
+    }
+
+    // Per-family structural invariants.
+    violations.extend(idx.check_invariants(g));
+
+    AuditOutcome {
+        name,
+        pairs_checked: pairs.len(),
+        violations,
+    }
+}
+
+/// Builds `spec` over `prepared` and audits the result.
+pub fn audit_plain_spec(
+    spec: &PlainSpec,
+    prepared: &PreparedGraph,
+    opts: &BuildOpts,
+    cfg: &AuditConfig,
+) -> AuditOutcome {
+    let idx = (spec.build)(prepared, opts);
+    audit_index(idx.as_ref(), prepared.graph(), cfg)
+}
+
+/// [`audit_plain_spec`] by registry name; `None` for unknown names.
+pub fn audit_plain(
+    name: &str,
+    prepared: &PreparedGraph,
+    opts: &BuildOpts,
+    cfg: &AuditConfig,
+) -> Option<AuditOutcome> {
+    crate::pipeline::plain_spec(name).map(|spec| audit_plain_spec(spec, prepared, opts, cfg))
+}
+
+fn overflow_note(index: &'static str, rule: &'static str, count: usize, out: &mut Vec<Violation>) {
+    if count > MAX_PER_RULE {
+        out.push(Violation {
+            index,
+            rule,
+            detail: format!("... and {} more such pairs", count - MAX_PER_RULE),
+        });
+    }
+}
+
+/// Seeded pair sample: half uniform, half positives manufactured by
+/// short random forward walks (uniform pairs on sparse graphs are
+/// almost all unreachable, which would leave completeness untested).
+fn sample_pairs(g: &DiGraph, cfg: &AuditConfig) -> Vec<(VertexId, VertexId)> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut pairs = Vec::with_capacity(cfg.pairs);
+    while pairs.len() < cfg.pairs {
+        let s = VertexId(rng.random_range(0..n as u32));
+        if pairs.len() % 2 == 0 {
+            pairs.push((s, VertexId(rng.random_range(0..n as u32))));
+        } else {
+            let mut cur = s;
+            for _ in 0..rng.random_range(1..8usize) {
+                let outs = g.out_neighbors(cur);
+                if outs.is_empty() {
+                    break;
+                }
+                cur = outs[rng.random_range(0..outs.len())];
+            }
+            pairs.push((s, cur));
+        }
+    }
+    pairs
+}
+
+/// Up to `limit` vertices, evenly spaced so the sample is
+/// deterministic and covers the id range. Public so the labeled
+/// crate's audit can share the sampler.
+pub fn sample_vertices(n: usize, limit: usize) -> Vec<VertexId> {
+    if n == 0 || limit == 0 {
+        return Vec::new();
+    }
+    let step = n.div_ceil(limit).max(1);
+    (0..n).step_by(step).map(|i| VertexId(i as u32)).collect()
+}
+
+/// Membership row of `s`'s forward closure (including `s`).
+pub(crate) fn closure_row(
+    g: &DiGraph,
+    s: VertexId,
+    visit: &mut VisitMap,
+    buf: &mut Vec<VertexId>,
+) -> Vec<bool> {
+    traverse::forward_closure_with(g, s, visit, buf);
+    let mut row = vec![false; g.num_vertices()];
+    for &v in buf.iter() {
+        row[v.index()] = true;
+    }
+    row
+}
+
+/// Shared validator for the 2-hop family (2-Hop, PLL, TFL, DL, TOL):
+/// labels must be strictly sorted, every hub entry must be *sound* (a
+/// rank in `lout(x)` means `x` really reaches that hub; a rank in
+/// `lin(x)` means the hub really reaches `x`), and the cover must be
+/// *complete* (every reachable sampled pair is witnessed by a common
+/// hub).
+pub(crate) fn check_two_hop_cover<'a>(
+    name: &'static str,
+    g: &DiGraph,
+    lout: impl Fn(VertexId) -> &'a [u32],
+    lin: impl Fn(VertexId) -> &'a [u32],
+    vertex_at: impl Fn(u32) -> VertexId,
+    out: &mut Vec<Violation>,
+) {
+    let n = g.num_vertices();
+    let mut visit = VisitMap::new(n);
+    let mut buf = Vec::new();
+
+    // Label order: the query's sorted-merge intersection requires
+    // strictly ascending ranks.
+    for x in g.vertices() {
+        for (kind, label) in [("lout", lout(x)), ("lin", lin(x))] {
+            if label.windows(2).any(|w| w[0] >= w[1]) {
+                out.push(Violation {
+                    index: name,
+                    rule: "2hop-label-order",
+                    detail: format!("{kind}({x:?}) is not strictly ascending: {label:?}"),
+                });
+            }
+        }
+    }
+
+    // Soundness: audit a sample of hub ranks against the hubs' true
+    // forward/backward closures.
+    let mut unsound = 0usize;
+    for r in sample_vertices(n, 48).iter().map(|v| v.0) {
+        let hub = vertex_at(r);
+        let fwd = closure_row(g, hub, &mut visit, &mut buf);
+        traverse::backward_closure_with(g, hub, &mut visit, &mut buf);
+        let mut bwd = vec![false; n];
+        for &v in &buf {
+            bwd[v.index()] = true;
+        }
+        for x in g.vertices() {
+            if lin(x).binary_search(&r).is_ok() && !fwd[x.index()] {
+                unsound += 1;
+                if unsound <= MAX_PER_RULE {
+                    out.push(Violation {
+                        index: name,
+                        rule: "2hop-soundness",
+                        detail: format!(
+                            "lin({x:?}) lists hub {hub:?} (rank {r}), but the hub does not reach {x:?}"
+                        ),
+                    });
+                }
+            }
+            if lout(x).binary_search(&r).is_ok() && !bwd[x.index()] {
+                unsound += 1;
+                if unsound <= MAX_PER_RULE {
+                    out.push(Violation {
+                        index: name,
+                        rule: "2hop-soundness",
+                        detail: format!(
+                            "lout({x:?}) lists hub {hub:?} (rank {r}), but {x:?} does not reach the hub"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    overflow_note(name, "2hop-soundness", unsound, out);
+
+    // Completeness: from sampled sources, every truly reachable
+    // target must be witnessed by a common hub.
+    let mut incomplete = 0usize;
+    for s in sample_vertices(n, 48) {
+        let row = closure_row(g, s, &mut visit, &mut buf);
+        for t in g.vertices() {
+            if t == s || !row[t.index()] {
+                continue;
+            }
+            if !sorted_ranks_intersect(lout(s), lin(t)) {
+                incomplete += 1;
+                if incomplete <= MAX_PER_RULE {
+                    out.push(Violation {
+                        index: name,
+                        rule: "2hop-completeness",
+                        detail: format!("{s:?} reaches {t:?} but no common hub witnesses it"),
+                    });
+                }
+            }
+        }
+    }
+    overflow_note(name, "2hop-completeness", incomplete, out);
+}
+
+fn sorted_ranks_intersect(a: &[u32], b: &[u32]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexMeta;
+    use crate::index::{Completeness, Dynamism, Framework, InputClass};
+    use crate::pipeline::{plain_feasible, plain_names};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use reach_graph::generators::random_digraph;
+    use reach_graph::traverse::bfs_reaches;
+
+    fn meta(name: &'static str) -> IndexMeta {
+        IndexMeta {
+            name,
+            citation: "[-]",
+            framework: Framework::Other,
+            completeness: Completeness::Complete,
+            input: InputClass::General,
+            dynamism: Dynamism::Static,
+        }
+    }
+
+    /// Ground truth with a lie: flips the verdict for one pair.
+    struct OneLie {
+        g: DiGraph,
+        pair: (VertexId, VertexId),
+    }
+
+    impl ReachIndex for OneLie {
+        fn query(&self, s: VertexId, t: VertexId) -> bool {
+            let mut vm = VisitMap::new(self.g.num_vertices());
+            let truth = bfs_reaches(&self.g, s, t, &mut vm);
+            if (s, t) == self.pair {
+                !truth
+            } else {
+                truth
+            }
+        }
+        fn meta(&self) -> IndexMeta {
+            meta("OneLie")
+        }
+        fn size_bytes(&self) -> usize {
+            0
+        }
+        fn size_entries(&self) -> usize {
+            0
+        }
+    }
+
+    /// Correct scalar queries, broken batch override.
+    struct BadBatch {
+        g: DiGraph,
+    }
+
+    impl ReachIndex for BadBatch {
+        fn query(&self, s: VertexId, t: VertexId) -> bool {
+            let mut vm = VisitMap::new(self.g.num_vertices());
+            bfs_reaches(&self.g, s, t, &mut vm)
+        }
+        fn query_batch(&self, pairs: &[(VertexId, VertexId)]) -> Vec<bool> {
+            vec![false; pairs.len()]
+        }
+        fn meta(&self) -> IndexMeta {
+            meta("BadBatch")
+        }
+        fn size_bytes(&self) -> usize {
+            0
+        }
+        fn size_entries(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn audit_catches_a_single_wrong_answer() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = random_digraph(30, 70, &mut rng);
+        // lie about a self-pair so every sampler path can see it
+        let idx = OneLie {
+            g: g.clone(),
+            pair: (VertexId(3), VertexId(3)),
+        };
+        let outcome = audit_index(&idx, &g, &AuditConfig::default());
+        assert!(!outcome.is_clean());
+        assert!(outcome
+            .violations
+            .iter()
+            .any(|v| v.rule == "self-reachability" || v.rule.starts_with("differential")));
+    }
+
+    #[test]
+    fn audit_catches_batch_divergence() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let g = random_digraph(30, 70, &mut rng);
+        let idx = BadBatch { g: g.clone() };
+        let outcome = audit_index(&idx, &g, &AuditConfig::default());
+        assert!(outcome
+            .violations
+            .iter()
+            .any(|v| v.rule == "batch-consistency"));
+    }
+
+    #[test]
+    fn every_registry_index_audits_clean_on_a_cyclic_graph() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let g = random_digraph(120, 320, &mut rng);
+        let prepared = PreparedGraph::new(g);
+        let opts = BuildOpts::default();
+        let cfg = AuditConfig {
+            pairs: 400,
+            seed: 11,
+        };
+        for name in plain_names() {
+            if !plain_feasible(name, prepared.num_vertices(), prepared.num_edges()) {
+                continue;
+            }
+            let outcome = audit_plain(name, &prepared, &opts, &cfg).expect("registry name");
+            assert!(
+                outcome.is_clean(),
+                "{name} violations: {:#?}",
+                outcome.violations
+            );
+            assert_eq!(outcome.pairs_checked, 400);
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_not_audited() {
+        let prepared = PreparedGraph::new(DiGraph::from_edges(2, &[(0, 1)]));
+        assert!(audit_plain(
+            "no such index",
+            &prepared,
+            &BuildOpts::default(),
+            &AuditConfig::default()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn sample_vertices_is_bounded_and_in_range() {
+        let vs = sample_vertices(1_000, 64);
+        assert!(vs.len() <= 64 && !vs.is_empty());
+        assert!(vs.iter().all(|v| v.index() < 1_000));
+        assert!(sample_vertices(0, 64).is_empty());
+        assert_eq!(sample_vertices(3, 64).len(), 3);
+    }
+}

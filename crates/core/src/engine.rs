@@ -10,6 +10,7 @@
 //! of v if the index lookup … returns false."* [`GuidedSearch`] is
 //! precisely that loop.
 
+use crate::audit::{self, Violation};
 use crate::index::{Certainty, IndexMeta, ReachFilter, ReachIndex};
 use reach_graph::traverse::{Side, VisitMap};
 use reach_graph::{DiGraph, ScratchPool, VertexId};
@@ -217,6 +218,62 @@ impl<F: ReachFilter> ReachIndex for GuidedSearch<F> {
 
     fn size_entries(&self) -> usize {
         self.filter.size_entries()
+    }
+
+    /// Probes the filter's definite verdicts against a BFS ground
+    /// truth from sampled sources. The guided DFS trusts *every*
+    /// `Reachable`/`Unreachable` verdict unconditionally, so a single
+    /// wrong definite answer corrupts the lifted oracle — this is the
+    /// no-false-negative check for BFL/IP/GRAIL and the
+    /// no-false-positive check for Ferrari's exact intervals, at the
+    /// verdict level. The filter's own structural hook runs first.
+    fn check_invariants(&self, graph: &DiGraph) -> Vec<Violation> {
+        let name = self.meta.name;
+        let mut out = self.filter.check_invariants(graph);
+        let n = graph.num_vertices();
+        if n != self.graph.num_vertices() {
+            out.push(Violation {
+                index: name,
+                rule: "graph-mismatch",
+                detail: format!(
+                    "search graph has {} vertices, audited graph has {n}",
+                    self.graph.num_vertices()
+                ),
+            });
+            return out;
+        }
+        let mut visit = VisitMap::new(n);
+        let mut buf = Vec::new();
+        let mut wrong = 0usize;
+        for s in audit::sample_vertices(n, 96) {
+            let row = audit::closure_row(graph, s, &mut visit, &mut buf);
+            for t in graph.vertices() {
+                let verdict = self.filter.certain(s, t);
+                let bad_rule = match verdict {
+                    Certainty::Reachable if !row[t.index()] => "filter-false-positive",
+                    Certainty::Unreachable if row[t.index()] => "filter-false-negative",
+                    _ => continue,
+                };
+                wrong += 1;
+                if wrong <= 5 {
+                    out.push(Violation {
+                        index: name,
+                        rule: bad_rule,
+                        detail: format!(
+                            "filter verdict {verdict:?} for {s:?}->{t:?} contradicts traversal"
+                        ),
+                    });
+                }
+            }
+        }
+        if wrong > 5 {
+            out.push(Violation {
+                index: name,
+                rule: "filter-verdicts",
+                detail: format!("... and {} more wrong definite verdicts", wrong - 5),
+            });
+        }
+        out
     }
 }
 

@@ -10,12 +10,14 @@
 //! grows coverage, so there are no false negatives). Ferrari is thus
 //! the rare filter with *both* guarantees of §5.
 
+use crate::audit::{self, Violation};
 use crate::engine::GuidedSearch;
 use crate::index::{
     Certainty, Completeness, Dynamism, FilterGuarantees, Framework, IndexMeta, InputClass,
     ReachFilter,
 };
 use crate::interval::SpanningForest;
+use reach_graph::traverse::VisitMap;
 use reach_graph::{Dag, DiGraph, VertexId};
 use std::sync::Arc;
 
@@ -148,6 +150,108 @@ impl ReachFilter for FerrariFilter {
 
     fn size_entries(&self) -> usize {
         self.intervals.iter().map(Vec::len).sum()
+    }
+
+    /// Ferrari structural invariants: interval lists are sorted,
+    /// disjoint, non-adjacent, and within budget; every vertex covers
+    /// its own post number; coverage nests along edges (the
+    /// no-false-negative side); and on sampled vertices every *exact*
+    /// interval covers only genuinely reachable post numbers (the
+    /// no-false-positive side, against a BFS ground truth).
+    fn check_invariants(&self, graph: &DiGraph) -> Vec<Violation> {
+        let name = "Ferrari";
+        let mut out = Vec::new();
+        let n = graph.num_vertices();
+        if n != self.post.len() {
+            out.push(Violation {
+                index: name,
+                rule: "graph-mismatch",
+                detail: format!("index covers {} vertices, graph has {n}", self.post.len()),
+            });
+            return out;
+        }
+        for v in graph.vertices() {
+            let list = &self.intervals[v.index()];
+            if list.len() > self.budget {
+                out.push(Violation {
+                    index: name,
+                    rule: "ferrari-budget",
+                    detail: format!(
+                        "{v:?} keeps {} intervals, budget is {}",
+                        list.len(),
+                        self.budget
+                    ),
+                });
+            }
+            if list.iter().any(|iv| iv.start > iv.end)
+                || list.windows(2).any(|w| w[1].start <= w[0].end + 1)
+            {
+                out.push(Violation {
+                    index: name,
+                    rule: "ferrari-interval-order",
+                    detail: format!("intervals of {v:?} not sorted/disjoint/merged: {list:?}"),
+                });
+            }
+            let own = self.post[v.index()];
+            if !list.iter().any(|iv| iv.start <= own && own <= iv.end) {
+                out.push(Violation {
+                    index: name,
+                    rule: "ferrari-self",
+                    detail: format!("{v:?}'s own post number {own} uncovered"),
+                });
+            }
+        }
+        // Nesting: a child's coverage must survive into the parent
+        // (merging only grows coverage). Gaps are ≥ 2 after merging,
+        // so a child interval fits inside a single parent interval.
+        for u in graph.vertices() {
+            for &v in graph.out_neighbors(u) {
+                for child in &self.intervals[v.index()] {
+                    let parent = &self.intervals[u.index()];
+                    let nested = parent
+                        .iter()
+                        .any(|iv| iv.start <= child.start && child.end <= iv.end);
+                    if !nested {
+                        out.push(Violation {
+                            index: name,
+                            rule: "ferrari-nesting",
+                            detail: format!(
+                                "edge {u:?}->{v:?}: child interval [{}, {}] not covered by parent",
+                                child.start, child.end
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        // Exactness: exact intervals may only cover reachable posts.
+        // Post-order numbers are 1-based (slot 0 stays unused).
+        let mut vertex_of_post = vec![VertexId(0); n + 1];
+        for v in graph.vertices() {
+            vertex_of_post[self.post[v.index()] as usize] = v;
+        }
+        let mut visit = VisitMap::new(n);
+        let mut buf = Vec::new();
+        for u in audit::sample_vertices(n, 64) {
+            let row = audit::closure_row(graph, u, &mut visit, &mut buf);
+            for iv in self.intervals[u.index()].iter().filter(|iv| iv.exact) {
+                for p in iv.start..=iv.end {
+                    let covered = vertex_of_post[p as usize];
+                    if !row[covered.index()] {
+                        out.push(Violation {
+                            index: name,
+                            rule: "ferrari-exactness",
+                            detail: format!(
+                                "exact interval [{}, {}] of {u:?} covers unreachable {covered:?}",
+                                iv.start, iv.end
+                            ),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+        out
     }
 }
 

@@ -6,6 +6,7 @@
 //! processed by first checking whether s and t belong to the same SCC,
 //! followed by checking the reachability in the DAG."*
 
+use crate::audit::Violation;
 use crate::index::{IndexMeta, InputClass, ReachIndex};
 use reach_graph::{Condensation, Dag, DiGraph, PreparedGraph, VertexId};
 use std::sync::Arc;
@@ -83,6 +84,52 @@ impl<I: ReachIndex> ReachIndex for Condensed<I> {
 
     fn size_entries(&self) -> usize {
         self.inner.size_entries()
+    }
+
+    /// Condensation consistency — the §3.1 transform must preserve
+    /// reachability structure: `same_component` must agree with the
+    /// component map, and every original edge must either stay inside
+    /// one SCC or appear as an edge of the condensation DAG.  The
+    /// inner index is then validated against that DAG.
+    fn check_invariants(&self, graph: &DiGraph) -> Vec<Violation> {
+        let name = self.meta().name;
+        let mut out = Vec::new();
+        let dag = self.cond.dag();
+        for u in graph.vertices() {
+            let cu = self.cond.component_of(u);
+            if cu.index() >= dag.num_vertices() {
+                out.push(Violation {
+                    index: name,
+                    rule: "condensation-component",
+                    detail: format!("{u:?} maps to out-of-range component {cu:?}"),
+                });
+                continue;
+            }
+            for &v in graph.out_neighbors(u) {
+                let cv = self.cond.component_of(v);
+                if self.cond.same_component(u, v) != (cu == cv) {
+                    out.push(Violation {
+                        index: name,
+                        rule: "condensation-component",
+                        detail: format!(
+                            "same_component({u:?}, {v:?}) disagrees with the component map"
+                        ),
+                    });
+                }
+                if cu != cv && !dag.graph().out_neighbors(cu).contains(&cv) {
+                    out.push(Violation {
+                        index: name,
+                        rule: "condensation-edge",
+                        detail: format!(
+                            "edge {u:?}->{v:?} crosses SCCs {cu:?}->{cv:?} but the \
+                             condensation DAG has no such edge"
+                        ),
+                    });
+                }
+            }
+        }
+        out.extend(self.inner.check_invariants(dag.graph()));
+        out
     }
 }
 

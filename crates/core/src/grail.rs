@@ -8,6 +8,7 @@
 //! survey singles out. Containment in all `k` labelings proves
 //! nothing, so undecided queries fall to the guided DFS.
 
+use crate::audit::Violation;
 use crate::engine::GuidedSearch;
 use crate::index::{
     Certainty, Completeness, Dynamism, FilterGuarantees, Framework, IndexMeta, InputClass,
@@ -101,6 +102,54 @@ impl ReachFilter for GrailFilter {
     fn size_entries(&self) -> usize {
         // one interval per vertex per labeling
         self.labelings.iter().map(Vec::len).sum()
+    }
+
+    /// GRAIL's no-false-negative guarantee rests on interval nesting
+    /// along edges: in every labeling, an edge `(u, v)` must satisfy
+    /// `L_v ⊆ L_u` (so containment failing anywhere on a path proves
+    /// non-reachability), and each label must be a well-formed
+    /// interval `low ≤ rank`.
+    fn check_invariants(&self, graph: &DiGraph) -> Vec<Violation> {
+        let name = "GRAIL";
+        let mut out = Vec::new();
+        for (k, label) in self.labelings.iter().enumerate() {
+            if label.len() != graph.num_vertices() {
+                out.push(Violation {
+                    index: name,
+                    rule: "graph-mismatch",
+                    detail: format!(
+                        "labeling {k} covers {} vertices, graph has {}",
+                        label.len(),
+                        graph.num_vertices()
+                    ),
+                });
+                continue;
+            }
+            for u in graph.vertices() {
+                let (lu, ru) = label[u.index()];
+                if lu > ru {
+                    out.push(Violation {
+                        index: name,
+                        rule: "grail-interval",
+                        detail: format!("labeling {k}: {u:?} has low {lu} > rank {ru}"),
+                    });
+                }
+                for &v in graph.out_neighbors(u) {
+                    let (lv, rv) = label[v.index()];
+                    if !(lu <= lv && rv <= ru) {
+                        out.push(Violation {
+                            index: name,
+                            rule: "grail-containment",
+                            detail: format!(
+                                "labeling {k}: edge {u:?}->{v:?} breaks nesting \
+                                 ([{lu}, {ru}] does not contain [{lv}, {rv}])"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        out
     }
 }
 

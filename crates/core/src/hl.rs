@@ -9,6 +9,7 @@
 //! The combination is a complete index: lookups plus residual search
 //! decide every query exactly.
 
+use crate::audit::Violation;
 use crate::index::{Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex};
 use reach_graph::traverse::{Side, VisitMap};
 use reach_graph::{Dag, DiGraph, ScratchPool, VertexId};
@@ -176,6 +177,72 @@ impl ReachIndex for Hl {
             .chain(self.bwd.iter())
             .map(|w| w.count_ones() as usize)
             .sum()
+    }
+
+    /// HL's lookup is only as good as its landmark bitsets: each
+    /// landmark's forward (resp. backward) row must equal its exact
+    /// forward (resp. backward) closure — a stale or truncated row
+    /// silently turns lookups into guesses the residual DFS can't
+    /// repair (it skips landmarks by design).
+    fn check_invariants(&self, graph: &DiGraph) -> Vec<Violation> {
+        let name = "HL";
+        let mut out = Vec::new();
+        let n = graph.num_vertices();
+        if n != self.is_landmark.len() {
+            out.push(Violation {
+                index: name,
+                rule: "graph-mismatch",
+                detail: format!(
+                    "index covers {} vertices, graph has {n}",
+                    self.is_landmark.len()
+                ),
+            });
+            return out;
+        }
+        let mut visit = VisitMap::new(n);
+        let mut closure = Vec::new();
+        for (i, &lm) in self.landmarks.iter().enumerate() {
+            if !self.is_landmark[lm.index()] {
+                out.push(Violation {
+                    index: name,
+                    rule: "hl-landmark-set",
+                    detail: format!("landmark {lm:?} missing from the is_landmark map"),
+                });
+            }
+            for (table, table_name, closure_of) in [
+                (
+                    &self.fwd,
+                    "forward",
+                    reach_graph::traverse::forward_closure_with
+                        as fn(&DiGraph, VertexId, &mut VisitMap, &mut Vec<VertexId>),
+                ),
+                (
+                    &self.bwd,
+                    "backward",
+                    reach_graph::traverse::backward_closure_with,
+                ),
+            ] {
+                closure_of(graph, lm, &mut visit, &mut closure);
+                let mut expected = vec![false; n];
+                for &v in &closure {
+                    expected[v.index()] = true;
+                }
+                for v in graph.vertices() {
+                    if Self::bit(table, i, self.words, v) != expected[v.index()] {
+                        out.push(Violation {
+                            index: name,
+                            rule: "hl-landmark-closure",
+                            detail: format!(
+                                "landmark {lm:?} {table_name} row disagrees with its true \
+                                 closure at {v:?}"
+                            ),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+        out
     }
 }
 

@@ -1,7 +1,8 @@
 //! The common interface of plain reachability indexes, and the
 //! classification metadata of the survey's Table 1.
 
-use reach_graph::VertexId;
+use crate::audit::Violation;
+use reach_graph::{DiGraph, VertexId};
 
 /// The indexing framework a technique belongs to (Table 1, column
 /// "Framework").
@@ -108,6 +109,23 @@ pub trait ReachIndex: Send + Sync {
     /// abstract "index size" measure the survey compares (e.g. total
     /// interval count for tree cover, Σ|Lin|+|Lout| for 2-hop).
     fn size_entries(&self) -> usize;
+
+    /// Validates this index's structural invariants against the graph
+    /// it was built on (interval nesting, 2-hop cover soundness and
+    /// completeness, filter guarantees, ...), returning every
+    /// violation found.
+    ///
+    /// `graph` must be the graph the index answers queries about
+    /// (for [`crate::general::Condensed`] the *original* graph; the
+    /// adapter hands its inner index the condensation DAG).  The
+    /// default reports nothing; families with checkable structure
+    /// override it.  Expensive checks are sampled, so a clean result
+    /// is strong evidence, not proof — `reach verify` combines this
+    /// with a differential pass for that reason.
+    fn check_invariants(&self, graph: &DiGraph) -> Vec<Violation> {
+        let _ = graph;
+        Vec::new()
+    }
 }
 
 /// The answer of one index-lookup on a partial index.
@@ -158,6 +176,15 @@ pub trait ReachFilter: Send + Sync {
 
     /// Abstract entry count (see [`ReachIndex::size_entries`]).
     fn size_entries(&self) -> usize;
+
+    /// Validates the filter's label structure against the graph it
+    /// was built on (see [`ReachIndex::check_invariants`]); the
+    /// verdict-level guarantees are additionally probed by
+    /// [`crate::engine::GuidedSearch`]'s own hook.
+    fn check_invariants(&self, graph: &DiGraph) -> Vec<Violation> {
+        let _ = graph;
+        Vec::new()
+    }
 }
 
 impl<F: ReachFilter + ?Sized> ReachFilter for Box<F> {
@@ -172,6 +199,9 @@ impl<F: ReachFilter + ?Sized> ReachFilter for Box<F> {
     }
     fn size_entries(&self) -> usize {
         (**self).size_entries()
+    }
+    fn check_invariants(&self, graph: &DiGraph) -> Vec<Violation> {
+        (**self).check_invariants(graph)
     }
 }
 

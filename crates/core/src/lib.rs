@@ -19,6 +19,9 @@
 //! by [`engine::GuidedSearch`]. DAG-only indexes compose with
 //! [`general::Condensed`] for general graphs.
 
+#![forbid(unsafe_code)]
+
+pub mod audit;
 pub mod bfl;
 pub mod chain_cover;
 pub mod dagger;
@@ -48,6 +51,7 @@ pub mod tc;
 pub mod tol;
 pub mod tree_cover;
 
+pub use audit::{audit_index, audit_plain, AuditConfig, AuditOutcome, Violation};
 pub use engine::GuidedSearch;
 pub use general::Condensed;
 pub use index::{

@@ -9,6 +9,7 @@
 //! sets while remaining a complete 2-hop cover. Works directly on
 //! general graphs.
 
+use crate::audit::{self, Violation};
 use crate::index::{Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex};
 use crate::tol::sorted_intersects;
 use reach_graph::{DiGraph, VertexId};
@@ -157,6 +158,34 @@ impl ReachIndex for Pll {
 
     fn size_entries(&self) -> usize {
         self.lin.iter().map(Vec::len).sum::<usize>() + self.lout.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Pruning must leave a *complete and sound* 2-hop cover: the
+    /// shared validator checks label order, hub soundness against
+    /// true closures, and witness coverage for reachable pairs.
+    fn check_invariants(&self, graph: &DiGraph) -> Vec<Violation> {
+        let mut out = Vec::new();
+        if graph.num_vertices() != self.lin.len() {
+            out.push(Violation {
+                index: "PLL",
+                rule: "graph-mismatch",
+                detail: format!(
+                    "index covers {} vertices, graph has {}",
+                    self.lin.len(),
+                    graph.num_vertices()
+                ),
+            });
+            return out;
+        }
+        audit::check_two_hop_cover(
+            "PLL",
+            graph,
+            |x| self.lout(x),
+            |x| self.lin(x),
+            |r| self.vertex_at(r),
+            &mut out,
+        );
+        out
     }
 }
 

@@ -17,6 +17,7 @@
 //!   invalidation (the property the TOL paper exploits for its
 //!   dynamic-graph support).
 
+use crate::audit::Violation;
 use crate::index::{Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex};
 use reach_graph::{Dag, DiGraph, VertexId};
 
@@ -376,6 +377,37 @@ impl ReachIndex for Tol {
 
     fn size_entries(&self) -> usize {
         self.lin.iter().map(Vec::len).sum::<usize>() + self.lout.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// 2-hop cover validation for the whole TOL family (TOL, TFL,
+    /// DL): label order, hub soundness, witness completeness.
+    /// `graph` must reflect the index's *current* edge set — after
+    /// `insert_edge`/`delete_edge`, validate against the updated
+    /// graph, not the one the index was first built on.
+    fn check_invariants(&self, graph: &DiGraph) -> Vec<Violation> {
+        let name = self.meta.name;
+        let mut out = Vec::new();
+        if graph.num_vertices() != self.lin.len() {
+            out.push(Violation {
+                index: name,
+                rule: "graph-mismatch",
+                detail: format!(
+                    "index covers {} vertices, graph has {}",
+                    self.lin.len(),
+                    graph.num_vertices()
+                ),
+            });
+            return out;
+        }
+        crate::audit::check_two_hop_cover(
+            name,
+            graph,
+            |x| self.lout(x),
+            |x| self.lin(x),
+            |r| self.vertex_at(r),
+            &mut out,
+        );
+        out
     }
 }
 

@@ -6,9 +6,10 @@
 //! paths through non-tree edges are captured. Adjacent or overlapping
 //! intervals are merged for compact storage (§3.1).
 
+use crate::audit::Violation;
 use crate::index::{Completeness, Dynamism, Framework, IndexMeta, InputClass, ReachIndex};
 use crate::interval::SpanningForest;
-use reach_graph::{Dag, VertexId};
+use reach_graph::{Dag, DiGraph, VertexId};
 
 /// The complete tree-cover index: per-vertex merged interval lists
 /// over spanning-forest post-order numbers.
@@ -102,6 +103,82 @@ impl ReachIndex for TreeCover {
 
     fn size_entries(&self) -> usize {
         self.intervals.iter().map(Vec::len).sum()
+    }
+
+    /// Tree-cover structural invariants: per-vertex interval lists are
+    /// sorted, disjoint, and non-adjacent; every vertex's own
+    /// post-order number is covered; and intervals *nest* along edges
+    /// — inheritance makes each out-neighbor's coverage a subset of
+    /// its predecessor's.
+    fn check_invariants(&self, graph: &DiGraph) -> Vec<Violation> {
+        let name = "Tree cover";
+        let mut out = Vec::new();
+        if graph.num_vertices() != self.post.len() {
+            out.push(Violation {
+                index: name,
+                rule: "graph-mismatch",
+                detail: format!(
+                    "index covers {} vertices, graph has {}",
+                    self.post.len(),
+                    graph.num_vertices()
+                ),
+            });
+            return out;
+        }
+        for v in graph.vertices() {
+            let list = &self.intervals[v.index()];
+            if list.iter().any(|&(s, e)| s > e) || list.windows(2).any(|w| w[1].0 <= w[0].1 + 1) {
+                out.push(Violation {
+                    index: name,
+                    rule: "interval-order",
+                    detail: format!("intervals of {v:?} not sorted/disjoint/merged: {list:?}"),
+                });
+            }
+            if !covers(list, self.post[v.index()]) {
+                out.push(Violation {
+                    index: name,
+                    rule: "interval-self",
+                    detail: format!("{v:?}'s own post number {} uncovered", self.post[v.index()]),
+                });
+            }
+        }
+        for u in graph.vertices() {
+            for &v in graph.out_neighbors(u) {
+                for &(s, e) in &self.intervals[v.index()] {
+                    if !contains_interval(&self.intervals[u.index()], s, e) {
+                        out.push(Violation {
+                            index: name,
+                            rule: "interval-nesting",
+                            detail: format!(
+                                "edge {u:?}->{v:?}: child interval [{s}, {e}] not nested in \
+                                 parent coverage"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Whether `b` lies in some interval of a sorted disjoint list.
+fn covers(list: &[(u32, u32)], b: u32) -> bool {
+    match list.binary_search_by(|&(start, _)| start.cmp(&b)) {
+        Ok(_) => true,
+        Err(0) => false,
+        Err(i) => list[i - 1].1 >= b,
+    }
+}
+
+/// Whether `[s, e]` lies inside a single interval of the list.
+/// Sufficient for nesting because merged lists have gaps ≥ 2, so a
+/// contiguous child interval cannot straddle two parent intervals.
+fn contains_interval(list: &[(u32, u32)], s: u32, e: u32) -> bool {
+    match list.binary_search_by(|&(start, _)| start.cmp(&s)) {
+        Ok(i) => list[i].1 >= e,
+        Err(0) => false,
+        Err(i) => list[i - 1].1 >= e,
     }
 }
 

@@ -11,6 +11,8 @@
 //! HTML reports — enough to compare techniques and catch regressions
 //! by eye, offline.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

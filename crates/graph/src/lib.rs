@@ -24,6 +24,8 @@
 //!   ([`LabelSet`]), the representation implied by the
 //!   sufficient-path-label-set machinery of §4.
 
+#![deny(unsafe_code)]
+
 pub mod condense;
 pub mod digraph;
 pub mod error;
@@ -34,6 +36,8 @@ pub mod labeled;
 pub mod prepare;
 pub mod reduction;
 pub mod scc;
+// the one sanctioned unsafe island: the lock-free ScratchPool slots
+#[allow(unsafe_code)]
 pub mod scratch;
 pub mod stats;
 pub mod topo;

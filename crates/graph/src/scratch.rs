@@ -29,9 +29,16 @@ const SLOTS: usize = 16;
 /// `reach-server`'s `/metrics`).
 static OVERFLOWS: AtomicU64 = AtomicU64::new(0);
 
+/// The one ordering for the overflow counter, on both the `fetch_add`
+/// and the `load` side. The counter is a monotonic statistic that
+/// synchronizes nothing, so `Relaxed` is sufficient — but it must be
+/// *consistently* `Relaxed`: a stronger ordering on one side only
+/// would suggest a synchronization relationship that does not exist.
+const OVERFLOW_ORDERING: Ordering = Ordering::Relaxed;
+
 /// Total overflow checkouts across every pool in the process.
 pub fn overflow_count() -> u64 {
-    OVERFLOWS.load(Ordering::Relaxed)
+    OVERFLOWS.load(OVERFLOW_ORDERING)
 }
 
 struct Slot<T> {
@@ -87,7 +94,7 @@ impl<T> ScratchPool<T> {
                 };
             }
         }
-        OVERFLOWS.fetch_add(1, Ordering::Relaxed);
+        OVERFLOWS.fetch_add(1, OVERFLOW_ORDERING);
         ScratchGuard {
             pool: None,
             item: Some(make()),
@@ -178,6 +185,33 @@ mod tests {
         // tests run concurrently, so other pools may overflow too —
         // but at least our 4 extra checkouts must have been counted
         assert!(overflow_count() >= before + 4);
+    }
+
+    #[test]
+    fn overflow_under_contention_allocates_instead_of_spinning() {
+        // Hold every slot on the main thread, then let 4 threads check
+        // out concurrently: each must get a fresh buffer immediately
+        // (the scope join proves nobody blocked or spun waiting for a
+        // slot) and each must bump the overflow counter.
+        let pool: ScratchPool<Vec<u8>> = ScratchPool::new();
+        let _held: Vec<_> = (0..SLOTS).map(|_| pool.checkout(Vec::new)).collect();
+        let before = overflow_count();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let mut g = pool.checkout(Vec::new);
+                    assert!(g.is_empty(), "overflow buffers are fresh, never pooled");
+                    g.push(1);
+                });
+            }
+        });
+        assert!(overflow_count() >= before + 4);
+        // with the held guards dropped, checkouts come from the pool
+        // again and reuse a returned (non-empty) buffer
+        drop(_held);
+        let g = pool.checkout(Vec::new);
+        assert!(pool.slots.iter().any(|s| !s.busy.load(Ordering::Relaxed)));
+        drop(g);
     }
 
     #[test]

@@ -1,0 +1,376 @@
+//! Model of the server's bounded accept queue, condvar worker pool,
+//! and shutdown-drain handshake (`reach_server::server`).
+//!
+//! The real protocol: the listener thread pushes accepted connections
+//! into a `Mutex<VecDeque>` (rejecting with 429 when the queue is at
+//! capacity) and signals `not_empty`; workers pop under the lock,
+//! waiting on the condvar when the queue is empty and the shutdown
+//! flag is clear.  `begin_shutdown` sets the flag and calls
+//! `notify_all`; workers drain the queue *before* honoring the flag
+//! so no accepted connection is dropped.
+//!
+//! The model collapses connection handling to counters and keeps the
+//! synchronization skeleton: the mutex is an `Option<owner>`, the
+//! condvar a waitset bitmask whose notify operations move waiters to
+//! a re-acquire state.  Three injectable bugs demonstrate the checker
+//! detects the failure modes the real code avoids:
+//!
+//! * [`QueueBug::SkipShutdownNotify`] — shutdown without
+//!   `notify_all`: parked workers sleep forever (deadlock).
+//! * [`QueueBug::ExitBeforeDrain`] — workers check the shutdown flag
+//!   before the queue: accepted connections are dropped
+//!   (drain-completeness violation).
+//! * [`QueueBug::NonAtomicWait`] — releasing the mutex *before*
+//!   joining the waitset (instead of the atomic unlock-and-wait the
+//!   real `Condvar::wait` provides): a notify in the gap is lost and
+//!   the worker sleeps forever.
+
+use crate::Model;
+
+/// Listener program counter.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ListenerPc {
+    /// Ready to accept the next connection (or begin shutdown once
+    /// all connections have arrived).
+    Accept,
+    /// Holding the lock, about to push or reject.
+    Locked,
+    /// All connections dispatched; about to set the shutdown flag.
+    SetFlag,
+    /// Flag set; about to `notify_all`.
+    NotifyAll,
+    Done,
+}
+
+/// Worker program counter.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum WorkerPc {
+    /// Contending for the lock.
+    Lock,
+    /// Holding the lock, deciding: pop, exit, or wait.
+    Check,
+    /// `NonAtomicWait` only: lock released, waitset registration
+    /// still pending — the lost-wakeup window.
+    WaitGap,
+    /// Parked on the condvar; only a notify can move this thread.
+    Waiting,
+    /// Woken; re-contending for the lock (as `Condvar::wait` does on
+    /// return).
+    Reacquire,
+    /// Popped a connection; serving it outside the lock.
+    Serve,
+    Done,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct QueueState {
+    /// Mutex owner: `None` = unlocked, `Some(tid)` = held.
+    lock: Option<u8>,
+    /// Queued (accepted, not yet popped) connections.
+    queue: u8,
+    /// Condvar waitset as a bitmask of *worker* indexes.
+    waiters: u8,
+    shutdown: bool,
+    accepted: u8,
+    rejected: u8,
+    served: u8,
+    listener: ListenerPc,
+    workers: Vec<WorkerPc>,
+}
+
+/// Seeded protocol defects; `None` is the shipped protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueueBug {
+    None,
+    SkipShutdownNotify,
+    ExitBeforeDrain,
+    NonAtomicWait,
+}
+
+/// Checker harness: thread 0 is the listener, threads `1..=workers`
+/// are the pool.
+pub struct QueueModel {
+    pub workers: usize,
+    pub capacity: u8,
+    /// Connections the listener dispatches before shutting down.
+    pub connections: u8,
+    pub bug: QueueBug,
+}
+
+impl QueueModel {
+    const LISTENER: u8 = 0;
+
+    fn worker_tid(w: usize) -> u8 {
+        w as u8 + 1
+    }
+
+    /// Move one waiter (the lowest index, matching `notify_one`'s
+    /// "some waiter" contract) to the re-acquire state.
+    fn notify_one(state: &mut QueueState) {
+        if state.waiters != 0 {
+            let w = state.waiters.trailing_zeros() as usize;
+            state.waiters &= !(1 << w);
+            state.workers[w] = WorkerPc::Reacquire;
+        }
+    }
+
+    fn notify_all(state: &mut QueueState) {
+        while state.waiters != 0 {
+            Self::notify_one(state);
+        }
+    }
+
+    fn step_listener(&self, state: &QueueState) -> Option<QueueState> {
+        let mut next = state.clone();
+        match state.listener {
+            ListenerPc::Accept => {
+                if state.accepted + state.rejected < self.connections {
+                    // accept() returned; take the queue lock.
+                    if state.lock.is_some() {
+                        return None;
+                    }
+                    next.lock = Some(Self::LISTENER);
+                    next.listener = ListenerPc::Locked;
+                } else {
+                    next.listener = ListenerPc::SetFlag;
+                }
+            }
+            ListenerPc::Locked => {
+                if state.queue < self.capacity {
+                    next.queue += 1;
+                    next.accepted += 1;
+                    // Real code notifies while holding the lock.
+                    Self::notify_one(&mut next);
+                } else {
+                    // Admission control: reject (429) instead of
+                    // blocking the accept loop.
+                    next.rejected += 1;
+                }
+                next.lock = None;
+                next.listener = ListenerPc::Accept;
+            }
+            ListenerPc::SetFlag => {
+                next.shutdown = true;
+                next.listener = if self.bug == QueueBug::SkipShutdownNotify {
+                    ListenerPc::Done
+                } else {
+                    ListenerPc::NotifyAll
+                };
+            }
+            ListenerPc::NotifyAll => {
+                Self::notify_all(&mut next);
+                next.listener = ListenerPc::Done;
+            }
+            ListenerPc::Done => return None,
+        }
+        Some(next)
+    }
+
+    fn step_worker(&self, state: &QueueState, w: usize) -> Option<QueueState> {
+        let tid = Self::worker_tid(w);
+        let mut next = state.clone();
+        match state.workers[w] {
+            WorkerPc::Lock | WorkerPc::Reacquire => {
+                if state.lock.is_some() {
+                    return None;
+                }
+                next.lock = Some(tid);
+                next.workers[w] = WorkerPc::Check;
+            }
+            WorkerPc::Check => {
+                let exit_first = self.bug == QueueBug::ExitBeforeDrain;
+                if exit_first && state.shutdown {
+                    next.lock = None;
+                    next.workers[w] = WorkerPc::Done;
+                } else if state.queue > 0 {
+                    next.queue -= 1;
+                    next.lock = None;
+                    next.workers[w] = WorkerPc::Serve;
+                } else if state.shutdown {
+                    next.lock = None;
+                    next.workers[w] = WorkerPc::Done;
+                } else if self.bug == QueueBug::NonAtomicWait {
+                    // Broken wait: unlock now, register later.
+                    next.lock = None;
+                    next.workers[w] = WorkerPc::WaitGap;
+                } else {
+                    // Condvar::wait — unlock and park atomically.
+                    next.waiters |= 1 << w;
+                    next.lock = None;
+                    next.workers[w] = WorkerPc::Waiting;
+                }
+            }
+            WorkerPc::WaitGap => {
+                next.waiters |= 1 << w;
+                next.workers[w] = WorkerPc::Waiting;
+            }
+            // Parked: only a notify moves this thread.
+            WorkerPc::Waiting => return None,
+            WorkerPc::Serve => {
+                next.served += 1;
+                next.workers[w] = WorkerPc::Lock;
+            }
+            WorkerPc::Done => return None,
+        }
+        Some(next)
+    }
+
+    fn in_flight(state: &QueueState) -> u8 {
+        state
+            .workers
+            .iter()
+            .filter(|&&pc| pc == WorkerPc::Serve)
+            .count() as u8
+    }
+}
+
+impl Model for QueueModel {
+    type State = QueueState;
+
+    fn initial(&self) -> QueueState {
+        QueueState {
+            lock: None,
+            queue: 0,
+            waiters: 0,
+            shutdown: false,
+            accepted: 0,
+            rejected: 0,
+            served: 0,
+            listener: ListenerPc::Accept,
+            workers: vec![WorkerPc::Lock; self.workers],
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.workers + 1
+    }
+
+    fn step(&self, state: &QueueState, tid: usize) -> Option<QueueState> {
+        if tid == Self::LISTENER as usize {
+            self.step_listener(state)
+        } else {
+            self.step_worker(state, tid - 1)
+        }
+    }
+
+    fn invariant(&self, state: &QueueState) -> Result<(), String> {
+        if state.queue > self.capacity {
+            return Err(format!(
+                "queue depth {} exceeds capacity {}",
+                state.queue, self.capacity
+            ));
+        }
+        // Conservation: every accepted connection is queued, being
+        // served, or served — none vanish (the /metrics identity
+        // sum(requests) == sum(responses) at drain).
+        let accounted = state.queue + Self::in_flight(state) + state.served;
+        if state.accepted != accounted {
+            return Err(format!(
+                "{} accepted but only {} accounted for (queue {} + in-flight {} + served {})",
+                state.accepted,
+                accounted,
+                state.queue,
+                Self::in_flight(state),
+                state.served
+            ));
+        }
+        Ok(())
+    }
+
+    fn accept(&self, state: &QueueState) -> Result<(), String> {
+        if state.listener != ListenerPc::Done {
+            return Err(format!("listener stuck at {:?}", state.listener));
+        }
+        if let Some(w) = state.workers.iter().position(|&pc| pc != WorkerPc::Done) {
+            return Err(format!(
+                "worker {w} stuck at {:?} (lost wakeup or missed shutdown)",
+                state.workers[w]
+            ));
+        }
+        if state.queue != 0 {
+            return Err(format!(
+                "{} connections left undrained at shutdown",
+                state.queue
+            ));
+        }
+        if state.served != state.accepted {
+            return Err(format!(
+                "served {} != accepted {} — connections dropped",
+                state.served, state.accepted
+            ));
+        }
+        if state.waiters != 0 {
+            return Err(format!(
+                "stale waitset {:#b} after termination",
+                state.waiters
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{explore, CheckError};
+
+    fn model(workers: usize, capacity: u8, connections: u8, bug: QueueBug) -> QueueModel {
+        QueueModel {
+            workers,
+            capacity,
+            connections,
+            bug,
+        }
+    }
+
+    #[test]
+    fn shipped_protocol_drains_and_terminates() {
+        for workers in 1..=2 {
+            let stats = explore(&model(workers, 2, 3, QueueBug::None))
+                .unwrap_or_else(|e| panic!("{workers} workers: {e}"));
+            assert!(stats.states > 50, "exploration too shallow: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn shipped_protocol_with_three_workers_and_tight_queue() {
+        // Capacity 1 forces the reject path; three workers force
+        // contention on the condvar during shutdown.
+        let stats = explore(&model(3, 1, 3, QueueBug::None)).expect("protocol is correct");
+        assert!(stats.states > 1_000, "exploration too shallow: {stats:?}");
+    }
+
+    #[test]
+    fn missing_shutdown_notify_deadlocks_parked_workers() {
+        match explore(&model(2, 2, 1, QueueBug::SkipShutdownNotify)) {
+            Err(CheckError::Violation(cex)) => {
+                assert!(cex.message.contains("stuck"), "message: {}", cex.message);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checking_shutdown_before_draining_drops_connections() {
+        match explore(&model(2, 2, 2, QueueBug::ExitBeforeDrain)) {
+            Err(CheckError::Violation(cex)) => {
+                assert!(
+                    cex.message.contains("undrained") || cex.message.contains("dropped"),
+                    "message: {}",
+                    cex.message
+                );
+            }
+            other => panic!("expected drain violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unlocking_before_joining_the_waitset_loses_wakeups() {
+        match explore(&model(1, 2, 1, QueueBug::NonAtomicWait)) {
+            Err(CheckError::Violation(cex)) => {
+                assert!(cex.message.contains("stuck"), "message: {}", cex.message);
+            }
+            other => panic!("expected lost wakeup, got {other:?}"),
+        }
+    }
+}

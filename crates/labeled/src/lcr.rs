@@ -1,7 +1,8 @@
 //! The common interface of path-constrained reachability indexes and
 //! the classification metadata of the survey's Table 2.
 
-use reach_graph::{Label, LabelSet, VertexId};
+use reach_core::audit::Violation;
+use reach_graph::{Label, LabelSet, LabeledGraph, VertexId};
 
 pub use reach_core::index::{Completeness, Dynamism, InputClass};
 
@@ -68,6 +69,17 @@ pub trait LcrIndex: Send + Sync {
 
     /// Abstract entry count (SPLS entries, GTC rows, …).
     fn size_entries(&self) -> usize;
+
+    /// Checks the index's internal structural invariants against the
+    /// graph it claims to cover, returning one [`Violation`] per
+    /// broken rule. The default reports nothing; techniques with
+    /// checkable structure (SPLS minimality, label-set monotonicity)
+    /// override it. Behavioral correctness (answers vs an online BFS)
+    /// is checked separately by [`crate::audit::audit_lcr_index`].
+    fn check_invariants(&self, graph: &LabeledGraph) -> Vec<Violation> {
+        let _ = graph;
+        Vec::new()
+    }
 }
 
 /// A concatenation-based (RLC) reachability index: answers

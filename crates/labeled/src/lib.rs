@@ -18,6 +18,9 @@
 //! Alternation indexes implement [`LcrIndex`]; the RLC index
 //! implements [`RlcIndexApi`].
 
+#![forbid(unsafe_code)]
+
+pub mod audit;
 pub mod chen;
 pub mod constraint;
 pub mod dlcr;
@@ -35,6 +38,7 @@ pub mod spls;
 pub mod witness;
 pub mod zou;
 
+pub use audit::{audit_lcr, audit_lcr_index, audit_lcr_spec};
 pub use constraint::{parse, Ast, ConstraintKind, Nfa};
 pub use lcr::{ConstraintClass, LabeledIndexMeta, LcrFramework, LcrIndex, RlcIndexApi};
 pub use pipeline::LcrSpec;

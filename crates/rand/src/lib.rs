@@ -9,6 +9,8 @@
 //! generators require. Streams differ from upstream `rand`, so seeds
 //! produce different (but stable) workloads.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// A low-level source of random 32/64-bit words.

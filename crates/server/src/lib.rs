@@ -22,6 +22,8 @@
 //! instead of falling over, and responses are byte-identical at every
 //! worker count. See `DESIGN.md` §5d.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod http;
 pub mod metrics;

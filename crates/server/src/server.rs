@@ -28,7 +28,7 @@ use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -130,6 +130,14 @@ struct Shared {
 }
 
 impl Shared {
+    /// Locks the connection queue, recovering from poisoning: the
+    /// queue holds plain `TcpStream`s with no invariant a mid-panic
+    /// thread could have broken, so the remaining threads keep serving
+    /// instead of cascading the panic through every lock site.
+    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<TcpStream>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn begin_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
@@ -234,7 +242,7 @@ fn accept_loop(shared: &Shared, listener: TcpListener) {
         }
         shared.metrics.record_connection();
         let rejected = {
-            let mut queue = shared.queue.lock().unwrap();
+            let mut queue = shared.lock_queue();
             if queue.len() >= shared.cfg.queue_capacity {
                 Some(stream)
             } else {
@@ -260,7 +268,7 @@ fn accept_loop(shared: &Shared, listener: TcpListener) {
 fn worker_loop(shared: &Shared) {
     loop {
         let stream = {
-            let mut queue = shared.queue.lock().unwrap();
+            let mut queue = shared.lock_queue();
             loop {
                 if let Some(stream) = queue.pop_front() {
                     break Some(stream);
@@ -268,7 +276,10 @@ fn worker_loop(shared: &Shared) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
-                queue = shared.not_empty.wait(queue).unwrap();
+                queue = shared
+                    .not_empty
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         match stream {
@@ -338,10 +349,9 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
                     return;
                 }
             }
-            Err(RecvError::Closed) => return,
-            Err(RecvError::Io(_)) => return,
             Err(e) => {
                 let (status, msg) = match e {
+                    RecvError::Closed | RecvError::Io(_) => return,
                     RecvError::Timeout => (408, "request read timed out\n".to_string()),
                     RecvError::BodyTooLarge { declared, limit } => {
                         // drain a bounded amount of the oversized body
@@ -359,7 +369,6 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
                     }
                     RecvError::HeadTooLarge => (431, "header block too large\n".to_string()),
                     RecvError::Malformed(m) => (400, format!("bad request: {m}\n")),
-                    RecvError::Closed | RecvError::Io(_) => unreachable!("handled above"),
                 };
                 let _ = write_response(&mut stream, status, &msg, false);
                 shared

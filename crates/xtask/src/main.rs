@@ -1,0 +1,69 @@
+//! `cargo xtask` — the workspace task runner.
+//!
+//! Subcommands:
+//!
+//! * `cargo xtask lint` — run the repo-specific source lints (see
+//!   [`lints`] and DESIGN.md §5e).  Exits non-zero on any violation.
+//!
+//! Flags: `--root <dir>` overrides the workspace root (defaults to
+//! the directory two levels above this crate's manifest).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+mod lints;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut root: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => match iter.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("xtask: --root needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "lint" if cmd.is_none() => cmd = Some("lint"),
+            other => {
+                eprintln!("xtask: unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        // When run via the cargo alias, the manifest dir is
+        // crates/xtask; the workspace root is two levels up.
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+    });
+    match cmd {
+        Some("lint") => {
+            let cfg = lints::LintConfig::workspace();
+            let violations = lints::run_lints(&root, &cfg);
+            if violations.is_empty() {
+                println!(
+                    "xtask lint: {} source files in scope, 0 violations",
+                    lints::files_in_scope(&root)
+                );
+                ExitCode::SUCCESS
+            } else {
+                for v in &violations {
+                    eprintln!("{v}");
+                }
+                eprintln!("xtask lint: {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo xtask lint [--root <dir>]");
+    ExitCode::FAILURE
+}

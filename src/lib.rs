@@ -42,6 +42,8 @@
 //! assert!(!p2h.query(fixtures::A, fixtures::G, constraint));
 //! ```
 
+#![forbid(unsafe_code)]
+
 /// Plain reachability indexes (re-export of `reach-core`).
 pub use reach_core as plain;
 /// The graph substrate (re-export of `reach-graph`).
